@@ -1,0 +1,68 @@
+// E20 -- the paper's approach vs the direct alternative (§2/§6 discussion
+// of Dukes-Colbourn-Syrotiuk FAWN'06): convert an existing non-sleeping
+// schedule with Construct(), or build the (αT, αR)-schedule directly from
+// the Requirement-3 covering problem.
+//
+// Compares frame length (latency), construction wall-clock, and average
+// worst-case throughput on a small-n grid (direct covering enumerates all
+// n·C(n-1,D) neighborhoods, which is exactly why the paper's conversion --
+// leaning on algebraic cover-free families -- is the scalable route; the
+// timing column makes that argument quantitative).
+#include <iostream>
+
+#include "combinatorics/params.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "core/direct.hpp"
+#include "core/requirements.hpp"
+#include "core/throughput.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace ttdc;
+
+int main() {
+  util::print_banner("E20 / Construct() conversion vs direct greedy covering", {});
+  util::Table table({"n", "D", "aT", "aR", "L convert", "L direct", "thr convert",
+                     "thr direct", "ms convert", "ms direct", "both valid"});
+  table.set_precision(5);
+  bool ok = true;
+  struct Cell {
+    std::size_t n, d, at, ar;
+  };
+  for (const Cell& c : {Cell{8, 2, 2, 3}, Cell{10, 2, 3, 4}, Cell{12, 2, 3, 4},
+                        Cell{14, 2, 4, 5}, Cell{16, 2, 4, 6}, Cell{12, 3, 3, 4},
+                        Cell{14, 3, 3, 6}, Cell{16, 3, 4, 6}, Cell{18, 2, 4, 6},
+                        Cell{20, 2, 5, 7}}) {
+    util::Timer t_convert;
+    const core::Schedule converted = core::construct_duty_cycled(
+        core::non_sleeping_from_family(comb::build_plan(comb::best_plan(c.n, c.d), c.n)),
+        c.d, c.at, c.ar);
+    const double ms_convert = t_convert.millis();
+
+    util::Xoshiro256 rng(c.n * 100 + c.d);
+    util::Timer t_direct;
+    const core::Schedule direct =
+        core::greedy_direct_schedule(c.n, c.d, c.at, c.ar, rng);
+    const double ms_direct = t_direct.millis();
+
+    const bool valid = !core::check_requirement3_exact(converted, c.d) &&
+                       !core::check_requirement3_exact(direct, c.d);
+    ok &= valid;
+    table.add_row({static_cast<std::int64_t>(c.n), static_cast<std::int64_t>(c.d),
+                   static_cast<std::int64_t>(c.at), static_cast<std::int64_t>(c.ar),
+                   static_cast<std::int64_t>(converted.frame_length()),
+                   static_cast<std::int64_t>(direct.frame_length()),
+                   static_cast<double>(core::average_throughput(converted, c.d)),
+                   static_cast<double>(core::average_throughput(direct, c.d)), ms_convert,
+                   ms_direct, std::string(valid ? "yes" : "NO")});
+  }
+  std::cout << table.to_text();
+  std::cout << "\nreading: both routes yield valid topology-transparent (aT,aR)-schedules;\n"
+            << "the conversion's cost is essentially the algebra (microseconds) while the\n"
+            << "direct covering pays for enumerating all n*C(n-1,D) neighborhoods -- the\n"
+            << "scalability argument for the paper's two-step design. Frame lengths show\n"
+            << "which route buys shorter frames at each size.\n"
+            << "result: " << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}

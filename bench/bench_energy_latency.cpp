@@ -1,0 +1,81 @@
+// E12 -- the paper's motivating tradeoff (§1): periodic duty cycling saves
+// energy under light traffic while keeping latency bounded and tolerating
+// collisions.
+//
+// Convergecast field deployment (grid, sink at a corner), light Bernoulli
+// traffic. Compares five MACs: non-sleeping TT schedule, constructed
+// duty-cycled TT schedules at two energy budgets, slotted ALOHA,
+// uncoordinated random sleeping, and topology-aware coloring TDMA (the
+// non-transparent reference point). Reports delivery ratio, latency
+// percentiles, awake fraction, and energy per delivered packet.
+#include <iostream>
+#include <memory>
+
+#include "combinatorics/constructions.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "net/topology.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace ttdc;
+
+int main() {
+  constexpr std::size_t kRows = 5, kCols = 5, kN = kRows * kCols, kD = 4, kSink = 0;
+  constexpr double kRate = 0.0015;
+  constexpr std::uint64_t kSlots = 60000;
+  util::print_banner("E12 / energy vs latency under light convergecast traffic",
+                     {{"grid", "5x5"},
+                      {"D", std::to_string(kD)},
+                      {"rate_per_node_per_slot", std::to_string(kRate)},
+                      {"slots", std::to_string(kSlots)}});
+
+  const net::Graph grid = net::grid_graph(kRows, kCols);
+  const core::Schedule base =
+      core::non_sleeping_from_family(comb::polynomial_family(5, 1, kN));
+  const core::Schedule duty_wide = core::construct_duty_cycled(base, kD, 5, 10);
+  const core::Schedule duty_tight = core::construct_duty_cycled(base, kD, 5, 5);
+  const sim::EnergyModel energy;
+
+  util::Table table({"mac", "delivered", "ratio", "lat p50", "lat p95", "awake frac",
+                     "energy mJ", "mJ/delivery", "collisions"});
+  table.set_precision(4);
+
+  struct Row {
+    const char* name;
+    std::unique_ptr<sim::MacProtocol> mac;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"TT non-sleeping", std::make_unique<sim::DutyCycledScheduleMac>(base)});
+  rows.push_back(
+      {"TT duty (aR=10)", std::make_unique<sim::DutyCycledScheduleMac>(duty_wide)});
+  rows.push_back(
+      {"TT duty (aR=5)", std::make_unique<sim::DutyCycledScheduleMac>(duty_tight)});
+  rows.push_back({"slotted ALOHA p=0.05",
+                  std::make_unique<sim::SlottedAlohaMac>(kN, 0.05)});
+  rows.push_back({"uncoord sleep p=0.3",
+                  std::make_unique<sim::UncoordinatedSleepMac>(kN, 0.3, 0.5)});
+  rows.push_back({"S-MAC-like 25% active",
+                  std::make_unique<sim::CommonActivePeriodMac>(kN, 20, 5, 0.2)});
+  rows.push_back({"coloring TDMA (topo-aware)",
+                  std::make_unique<sim::ColoringTdmaMac>(grid)});
+
+  for (auto& row : rows) {
+    sim::ConvergecastTraffic traffic(kN, kSink, kRate);
+    sim::Simulator sim(grid, *row.mac, traffic, {.seed = 99});
+    sim.run(kSlots);
+    const auto& st = sim.stats();
+    table.add_row({std::string(row.name), static_cast<std::int64_t>(st.delivered),
+                   st.delivery_ratio(), static_cast<std::int64_t>(st.latency.percentile(50)),
+                   static_cast<std::int64_t>(st.latency.percentile(95)), st.awake_fraction(),
+                   st.total_energy_mj(energy), st.energy_per_delivery_mj(energy),
+                   static_cast<std::int64_t>(st.collisions)});
+  }
+  std::cout << table.to_text();
+  std::cout << "\nreading: TT duty cycling should cut energy/delivery several-fold vs the\n"
+            << "non-sleeping schedule at a bounded latency cost; uncoordinated sleeping\n"
+            << "loses packets to asleep receivers; coloring TDMA is the topology-aware\n"
+            << "efficiency ceiling (but needs recoloring on every topology change).\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E21 -- network lifetime: the metric duty cycling exists to maximize.
+//
+// Every node gets the same battery; light convergecast traffic runs until
+// the network blacks out. For each MAC: slot of the first death, slots
+// until half the nodes are dead, total packets delivered over the whole
+// life of the network, and deliveries that happened AFTER the first death
+// (the topology-transparent schedules keep serving survivors with zero
+// reconfiguration as the topology shrinks).
+#include <iostream>
+#include <memory>
+
+#include "combinatorics/constructions.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "net/topology.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace ttdc;
+
+int main() {
+  constexpr std::size_t kRows = 5, kCols = 5, kN = kRows * kCols, kD = 4, kSink = 0;
+  constexpr double kRate = 0.001;
+  constexpr double kBatteryMj = 2000.0;  // ~3200 always-on slots
+  constexpr std::uint64_t kMaxSlots = 400000;
+  util::print_banner("E21 / network lifetime under equal batteries",
+                     {{"grid", "5x5"},
+                      {"battery_mJ", std::to_string(kBatteryMj)},
+                      {"rate", std::to_string(kRate)},
+                      {"max_slots", std::to_string(kMaxSlots)}});
+
+  const net::Graph grid = net::grid_graph(kRows, kCols);
+  const core::Schedule base =
+      core::non_sleeping_from_family(comb::polynomial_family(5, 1, kN));
+  const core::Schedule duty_wide = core::construct_duty_cycled(base, kD, 5, 10);
+  const core::Schedule duty_tight = core::construct_duty_cycled(base, kD, 5, 5);
+
+  util::Table table({"mac", "first death (slot)", "half dead (slot)", "blackout (slot)",
+                     "delivered total", "delivered after 1st death", "lifetime x"});
+  struct Row {
+    const char* name;
+    std::unique_ptr<sim::MacProtocol> mac;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"TT non-sleeping", std::make_unique<sim::DutyCycledScheduleMac>(base)});
+  rows.push_back({"TT duty (aR=10)", std::make_unique<sim::DutyCycledScheduleMac>(duty_wide)});
+  rows.push_back({"TT duty (aR=5)", std::make_unique<sim::DutyCycledScheduleMac>(duty_tight)});
+  rows.push_back({"uncoord sleep p=0.3",
+                  std::make_unique<sim::UncoordinatedSleepMac>(kN, 0.3, 0.5)});
+  rows.push_back({"S-MAC-like 25% active",
+                  std::make_unique<sim::CommonActivePeriodMac>(kN, 20, 5, 0.2)});
+
+  double always_on_first_death = 0.0;
+  for (auto& row : rows) {
+    sim::ConvergecastTraffic traffic(kN, kSink, kRate);
+    sim::SimConfig config;
+    config.seed = 77;
+    config.battery_mj = kBatteryMj;
+    sim::Simulator sim(grid, *row.mac, traffic, config);
+    std::uint64_t half_dead = 0, blackout = 0, delivered_at_first_death = 0;
+    while (sim.now() < kMaxSlots && sim.alive_count() > 0) {
+      sim.run(1000);
+      if (delivered_at_first_death == 0 && sim.stats().deaths > 0) {
+        delivered_at_first_death = sim.stats().delivered;
+      }
+      if (half_dead == 0 && sim.stats().deaths >= kN / 2) half_dead = sim.now();
+      if (sim.alive_count() == 0) blackout = sim.now();
+    }
+    const double first = static_cast<double>(sim.stats().first_death_slot);
+    if (always_on_first_death == 0.0) always_on_first_death = first;
+    table.add_row(
+        {std::string(row.name), static_cast<std::int64_t>(sim.stats().first_death_slot),
+         static_cast<std::int64_t>(half_dead), static_cast<std::int64_t>(blackout),
+         static_cast<std::int64_t>(sim.stats().delivered),
+         static_cast<std::int64_t>(sim.stats().delivered - delivered_at_first_death),
+         first / always_on_first_death});
+  }
+  std::cout << table.to_text();
+  std::cout << "\nreading: duty cycling multiplies time-to-first-death roughly by the\n"
+            << "awake-fraction ratio. Note the narrow first-death-to-blackout window for\n"
+            << "the TT schedules: their balanced energy consumption (§7) drains all\n"
+            << "batteries at the same rate, so the network serves at full strength until\n"
+            << "the very end instead of losing coverage node by node -- and whatever\n"
+            << "survives keeps being served with zero reconfiguration, since node death\n"
+            << "only shrinks degrees, which topology transparency already covers.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E2 -- Theorem 1: Requirement 2 <=> Requirement 3.
+//
+// Cross-validates the two independent exact checkers on a randomized sweep
+// of schedules (duty-cycled and non-sleeping, transparent and not) and
+// reports agreement counts plus the observed split.
+#include <iostream>
+
+#include "core/builders.hpp"
+#include "core/requirements.hpp"
+#include "util/table.hpp"
+
+using namespace ttdc;
+
+int main() {
+  constexpr std::uint64_t kSeed = 20070326;  // IPDPS'07 week
+  util::print_banner("E2 / Theorem 1: Requirement 2 <=> Requirement 3",
+                     {{"seed", std::to_string(kSeed)}, {"schedules_per_cell", "40"}});
+  util::Table table(
+      {"n", "D", "schedules", "transparent", "opaque", "agreements", "disagreements"});
+  util::Xoshiro256 rng(kSeed);
+  std::size_t total_disagreements = 0;
+  for (const auto& [n, d] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {5, 2}, {6, 2}, {6, 3}, {7, 2}, {7, 3}, {8, 2}, {8, 4}, {9, 3}}) {
+    std::size_t transparent = 0, opaque = 0, agreements = 0, disagreements = 0;
+    constexpr int kTrials = 40;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const std::size_t frame = 4 + static_cast<std::size_t>(rng.below(20));
+      const core::Schedule s =
+          trial % 2 == 0
+              ? core::random_alpha_schedule(n, frame, 1 + rng.below(n / 2),
+                                            1 + rng.below(n / 2), false, rng)
+              : core::random_non_sleeping_schedule(n, frame, 1 + rng.below(n - 1), rng);
+      const bool req2 = !core::check_requirement2_exact(s, d).has_value();
+      const bool req3 = !core::check_requirement3_exact(s, d).has_value();
+      (req2 == req3 ? agreements : disagreements) += 1;
+      (req3 ? transparent : opaque) += 1;
+    }
+    total_disagreements += disagreements;
+    table.add_row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(d),
+                   std::int64_t{kTrials}, static_cast<std::int64_t>(transparent),
+                   static_cast<std::int64_t>(opaque), static_cast<std::int64_t>(agreements),
+                   static_cast<std::int64_t>(disagreements)});
+  }
+  std::cout << table.to_text();
+  std::cout << "\nresult: Theorem 1 equivalence "
+            << (total_disagreements == 0 ? "CONFIRMED (0 disagreements)" : "FAILED") << "\n";
+  return total_disagreements == 0 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// E17 -- probing the paper's standing assumption ("we assume an efficient
+// synchronization scheme is available"): how gracefully do the guarantees
+// degrade as slot-sync misses and channel errors grow?
+//
+// Saturated worst-case star under the duty-cycled TT schedule, sweeping
+// sync_miss_rate and packet_error_rate; reports per-frame deliveries
+// (analytic guarantee scaled by (1-loss) in expectation) and latency
+// inflation.
+#include <iostream>
+
+#include "combinatorics/params.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "net/graph.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace ttdc;
+
+int main() {
+  constexpr std::size_t kN = 25, kD = 3;
+  constexpr std::uint64_t kFrames = 400;
+  util::print_banner("E17 / robustness to imperfect synchronization and channel",
+                     {{"n", std::to_string(kN)},
+                      {"D", std::to_string(kD)},
+                      {"frames", std::to_string(kFrames)}});
+  const core::Schedule duty = core::construct_duty_cycled(
+      core::non_sleeping_from_family(comb::build_plan(comb::best_plan(kN, kD), kN)), kD, 4,
+      8);
+
+  // Worst-case star: y = 0, neighbors 1..D, all saturated toward y.
+  // Returns a copy of the stats (the simulator and its MAC are locals).
+  auto run_cell = [&](double sync_miss, double per) -> sim::SimStats {
+    net::Graph star(kN);
+    std::vector<std::pair<std::size_t, std::size_t>> flows;
+    for (std::size_t leaf = 1; leaf <= kD; ++leaf) {
+      star.add_edge(0, leaf);
+      flows.emplace_back(leaf, 0);
+    }
+    sim::DutyCycledScheduleMac mac(duty);
+    sim::Simulator* probe = nullptr;
+    sim::SaturatedFlows traffic(std::move(flows),
+                                [&probe](std::size_t v) { return probe->queue_size(v); });
+    sim::SimConfig config;
+    config.seed = 31337;
+    config.sync_miss_rate = sync_miss;
+    config.packet_error_rate = per;
+    sim::Simulator sim(std::move(star), mac, traffic, config);
+    probe = &sim;
+    sim.run(kFrames * duty.frame_length());
+    return sim.stats();
+  };
+
+  const sim::SimStats baseline = run_cell(0.0, 0.0);
+  const double base_per_frame =
+      static_cast<double>(baseline.delivered) / static_cast<double>(kFrames);
+  std::cout << "perfect channel: " << base_per_frame << " deliveries/frame\n\n";
+
+  util::Table table({"sync_miss", "pkt_err", "deliv/frame", "vs perfect", "expected (1-loss)",
+                     "lat p95", "lat max"});
+  table.set_precision(4);
+  bool graceful = true;
+  for (double sync : {0.0, 0.05, 0.1, 0.2}) {
+    for (double per : {0.0, 0.05, 0.1, 0.2}) {
+      if (sync == 0.0 && per == 0.0) continue;
+      const sim::SimStats st = run_cell(sync, per);
+      const double per_frame =
+          static_cast<double>(st.delivered) / static_cast<double>(kFrames);
+      const double ratio = per_frame / base_per_frame;
+      const double expected = (1.0 - sync) * (1.0 - per);
+      // Graceful: retransmission of lost packets keeps goodput within a
+      // few points of the i.i.d. loss model (saturated flows resend, so
+      // goodput tracks the success probability of each attempt).
+      graceful &= ratio > expected - 0.1;
+      table.add_row({sync, per, per_frame, ratio, expected,
+                     static_cast<std::int64_t>(st.latency.percentile(95)),
+                     static_cast<std::int64_t>(st.latency.max())});
+    }
+  }
+  std::cout << table.to_text();
+  std::cout << "\nresult: goodput tracks (1-sync_miss)(1-pkt_err) and the link never "
+            << "starves -- the schedule degrades gracefully, it does not collapse: "
+            << (graceful ? "CONFIRMED" : "FAILED") << "\n";
+  return graceful ? 0 : 1;
+}

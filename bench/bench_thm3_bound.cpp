@@ -1,0 +1,53 @@
+// E4 -- Theorem 3: upper bound on average worst-case throughput of general
+// schedules, the optimal transmitter count αT*, and achievability.
+//
+// Sweeps n and D; for each cell prints αT* = argmax g_{n,D}, the tight
+// bound Thr*, the loose closed form nD^D/((n-D)(D+1)^{D+1}), and the
+// throughput actually achieved by a non-sleeping schedule with |T[i]| = αT*
+// (must equal Thr*) and by off-optimal schedules (must fall below).
+#include <iostream>
+
+#include "core/builders.hpp"
+#include "core/throughput.hpp"
+#include "util/table.hpp"
+
+using namespace ttdc;
+
+int main() {
+  util::print_banner("E4 / Theorem 3: general-schedule throughput bound", {});
+  util::Table table({"n", "D", "alphaT*", "(n-D)/(D+1)", "Thr* (tight)", "loose bound",
+                     "achieved @ alphaT*", "achieved @ alphaT*+2", "tight==achieved"});
+  table.set_precision(8);
+  bool ok = true;
+  util::Xoshiro256 rng(7);
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    for (std::size_t d : {2u, 3u, 5u, 8u}) {
+      if (d + 1 >= n) continue;
+      const std::size_t star = core::optimal_transmitters_general(n, d);
+      const long double tight = core::throughput_upper_bound_general(n, d);
+      const long double loose = core::throughput_upper_bound_general_loose(n, d);
+      const core::Schedule opt = core::random_non_sleeping_schedule(n, 4, star, rng);
+      const long double achieved = core::average_throughput(opt, d);
+      long double off = 0.0L;
+      if (star + 2 < n) {
+        const core::Schedule worse = core::random_non_sleeping_schedule(n, 4, star + 2, rng);
+        off = core::average_throughput(worse, d);
+      }
+      const bool match = std::abs(static_cast<double>(achieved - tight)) < 1e-12 &&
+                         static_cast<double>(tight) <= static_cast<double>(loose) + 1e-15 &&
+                         static_cast<double>(off) <= static_cast<double>(tight);
+      ok &= match;
+      table.add_row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(d),
+                     static_cast<std::int64_t>(star),
+                     static_cast<double>(n - d) / static_cast<double>(d + 1),
+                     static_cast<double>(tight), static_cast<double>(loose),
+                     static_cast<double>(achieved), static_cast<double>(off),
+                     std::string(match ? "yes" : "NO")});
+    }
+  }
+  std::cout << table.to_text();
+  std::cout << "\nresult: bound tight at alphaT* ~ (n-D)/(D+1), dominated by the loose form, "
+            << "strictly above off-optimal schedules: " << (ok ? "CONFIRMED" : "FAILED")
+            << "\n";
+  return ok ? 0 : 1;
+}

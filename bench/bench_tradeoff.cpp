@@ -1,0 +1,55 @@
+// E19 -- the deployment trade-off surface: sweeping (αT, αR) through the
+// Theorem 4/7/8 closed forms and printing the Pareto frontier a deployer
+// would actually choose from (the design-choice ablation DESIGN.md calls
+// out: energy vs throughput vs latency are bought with the two caps).
+#include <iostream>
+
+#include "combinatorics/params.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "core/throughput.hpp"
+#include "core/tradeoff.hpp"
+#include "util/table.hpp"
+
+using namespace ttdc;
+
+int main() {
+  constexpr std::size_t kN = 49, kD = 3;
+  util::print_banner("E19 / (aT, aR) trade-off surface and Pareto front",
+                     {{"n", std::to_string(kN)}, {"D", std::to_string(kD)}});
+  const auto plan = comb::best_plan(kN, kD);
+  const core::Schedule base = core::non_sleeping_from_family(comb::build_plan(plan, kN));
+  std::cout << "base: " << plan.to_string() << " (M_in=" << base.min_transmitters()
+            << ", M_ax=" << base.max_transmitters() << ")\n\n";
+
+  const auto points = core::enumerate_tradeoffs(base, kD, 12, 24);
+  const auto front = core::pareto_front(points);
+  std::cout << points.size() << " grid points, " << front.size() << " on the Pareto front\n\n";
+
+  util::Table table({"aT", "aR", "aT*", "duty cycle", "frame L", "Thm4 thr bound",
+                     "Thm8 ratio >=", "latency bound"});
+  table.set_precision(5);
+  for (const auto& p : front) {
+    table.add_row({static_cast<std::int64_t>(p.alpha_t), static_cast<std::int64_t>(p.alpha_r),
+                   static_cast<std::int64_t>(p.alpha_t_star), p.duty_cycle,
+                   static_cast<std::int64_t>(p.frame_length), p.avg_throughput_bound,
+                   p.ratio_lower_bound, static_cast<std::int64_t>(p.latency_bound)});
+  }
+  std::cout << table.to_text();
+
+  // Closed forms vs an actually-built schedule, spot-checked on 3 points.
+  bool ok = true;
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < front.size() && checked < 3; i += (front.size() + 2) / 3, ++checked) {
+    const auto& p = front[i];
+    const core::Schedule built = core::construct_duty_cycled(base, kD, p.alpha_t, p.alpha_r);
+    ok &= built.frame_length() == p.frame_length;
+    ok &= std::abs(built.duty_cycle() - p.duty_cycle) < 1e-9;
+    const double achieved =
+        static_cast<double>(core::average_throughput(built, kD)) / p.avg_throughput_bound;
+    ok &= achieved >= p.ratio_lower_bound - 1e-9;
+  }
+  std::cout << "\nresult: planner closed forms match the built schedules on spot checks: "
+            << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}

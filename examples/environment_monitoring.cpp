@@ -1,0 +1,68 @@
+// Environment monitoring: a 6x6 sensor grid reporting readings to a gateway
+// at one corner (convergecast), duty-cycled for multi-year battery life.
+//
+// Walks through the deployment math a WSN engineer actually does: pick the
+// schedule, simulate a day of traffic, and read off delivery ratio, latency
+// and projected battery lifetime -- comparing the duty-cycled schedule to
+// leaving radios on.
+#include <iostream>
+
+#include "combinatorics/params.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "net/topology.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ttdc;
+  constexpr std::size_t kRows = 6, kCols = 6, kN = kRows * kCols;
+  constexpr std::size_t kD = 4;      // grid max degree
+  constexpr std::size_t kSink = 0;   // gateway at a corner
+  // One reading per sensor every ~5 minutes at 10 ms slots: rate per slot.
+  constexpr double kReportRate = 1.0 / (5.0 * 60.0 * 100.0);
+  constexpr std::uint64_t kSlots = 200000;  // ~33 minutes of network time
+
+  const net::Graph field = net::grid_graph(kRows, kCols);
+  const auto plan = comb::best_plan(kN, kD);
+  const core::Schedule base = core::non_sleeping_from_family(comb::build_plan(plan, kN));
+  const core::Schedule duty = core::construct_duty_cycled(base, kD, 4, 8);
+  std::cout << "schedule plan: " << plan.to_string() << "\n"
+            << "duty-cycled frame: " << duty.frame_length()
+            << " slots, network duty cycle " << duty.duty_cycle() << "\n\n";
+
+  const sim::EnergyModel radio;  // CC2420-class defaults
+  // 2x AA ~ 2800 mAh * 3 V ~ 30 kJ = 3.0e7 mJ usable.
+  constexpr double kBatteryMj = 3.0e7;
+
+  util::Table table({"mac", "delivered", "ratio", "latency p95 (slots)",
+                     "avg awake frac", "mJ/node/day", "battery life (days)"});
+  table.set_precision(4);
+  struct Row {
+    const char* name;
+    const core::Schedule& schedule;
+  };
+  for (const Row& row : {Row{"always-on <T>", base}, Row{"duty-cycled <T,R>", duty}}) {
+    sim::DutyCycledScheduleMac mac(row.schedule);
+    sim::ConvergecastTraffic traffic(kN, kSink, kReportRate);
+    sim::Simulator sim(field, mac, traffic, {.seed = 2026});
+    sim.run(kSlots);
+    const auto& st = sim.stats();
+    const double mj_total = st.total_energy_mj(radio);
+    const double sim_seconds = static_cast<double>(kSlots) * radio.slot_seconds;
+    const double mj_per_node_day =
+        mj_total / static_cast<double>(kN) / sim_seconds * 86400.0;
+    table.add_row({std::string(row.name), static_cast<std::int64_t>(st.delivered),
+                   st.delivery_ratio(),
+                   static_cast<std::int64_t>(st.latency.percentile(95)),
+                   st.awake_fraction(), mj_per_node_day, kBatteryMj / mj_per_node_day});
+  }
+  std::cout << table.to_text();
+  std::cout << "\nThe duty-cycled schedule trades bounded extra latency (frame is "
+            << duty.frame_length() << " vs " << base.frame_length()
+            << " slots) for a battery-life multiple, while keeping the\n"
+            << "collision-freedom guarantee for every topology of degree <= " << kD
+            << " -- no re-planning if sensors are added or moved.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Mobile inspection: robots with sensors roam a site, so the radio topology
+// changes continuously. A topology-transparent duty-cycling schedule is
+// installed once at deployment and never updated -- this example shows it
+// keeps every link alive through churn, and counts what a topology-aware
+// TDMA would have had to do instead.
+#include <iostream>
+
+#include "combinatorics/params.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "net/topology.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ttdc;
+  constexpr std::size_t kRobots = 20, kD = 3;
+  constexpr int kEpochs = 10;
+  constexpr std::uint64_t kSlotsPerEpoch = 4000;
+
+  const auto plan = comb::best_plan(kRobots, kD);
+  const core::Schedule duty = core::construct_duty_cycled(
+      core::non_sleeping_from_family(comb::build_plan(plan, kRobots)), kD, 3, 8);
+  std::cout << "installed once: " << plan.to_string() << " -> duty-cycled L="
+            << duty.frame_length() << ", duty " << duty.duty_cycle() << "\n\n";
+
+  net::MobilityModel site(kRobots, 0.4, kD, 0.1, 20260705);
+  net::Graph g = site.step();
+
+  sim::DutyCycledScheduleMac tt_mac(duty);
+  sim::BernoulliTraffic tt_traffic(kRobots, 0.01);
+  sim::Simulator tt(g, tt_mac, tt_traffic, {.seed = 3});
+
+  sim::ColoringTdmaMac aware_mac(g);
+  sim::BernoulliTraffic aware_traffic(kRobots, 0.01);
+  sim::Simulator aware(g, aware_mac, aware_traffic, {.seed = 3});
+
+  util::Table table({"epoch", "edges", "TT delivered", "TT reconfig", "aware delivered",
+                     "aware reconfig (cumulative)"});
+  std::uint64_t tt_prev = 0, aware_prev = 0;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    tt.run(kSlotsPerEpoch);
+    aware.run(kSlotsPerEpoch);
+    table.add_row({static_cast<std::int64_t>(epoch),
+                   static_cast<std::int64_t>(tt.graph().num_edges()),
+                   static_cast<std::int64_t>(tt.stats().delivered - tt_prev),
+                   std::int64_t{0},
+                   static_cast<std::int64_t>(aware.stats().delivered - aware_prev),
+                   static_cast<std::int64_t>(aware_mac.recolor_count())});
+    tt_prev = tt.stats().delivered;
+    aware_prev = aware.stats().delivered;
+    const net::Graph moved = site.step();
+    tt.set_graph(moved);     // schedule untouched: transparency in action
+    aware.set_graph(moved);  // must recolor (models re-dissemination cost)
+  }
+  std::cout << table.to_text();
+  std::cout << "\nEvery robot-to-robot link stayed serviceable through " << kEpochs
+            << " topology changes with ZERO schedule updates; the topology-aware\n"
+            << "baseline recolored " << aware_mac.recolor_count()
+            << " times (each recoloring is a network-wide control-plane flood in\n"
+            << "practice, which duty-cycled nodes are exactly trying to avoid).\n";
+  return 0;
+}

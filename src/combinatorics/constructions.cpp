@@ -1,0 +1,268 @@
+#include "combinatorics/constructions.hpp"
+
+#include <array>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "gf/field.hpp"
+
+namespace ttdc::comb {
+
+namespace {
+
+using util::DynamicBitset;
+
+// Base-q digits of w, lowest first, k+1 of them.
+std::vector<std::uint32_t> digits_base_q(std::size_t w, std::uint32_t q, std::uint32_t count) {
+  std::vector<std::uint32_t> d(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    d[i] = static_cast<std::uint32_t>(w % q);
+    w /= q;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::size_t polynomial_family_capacity(std::uint32_t q, std::uint32_t k) {
+  std::size_t cap = 1;
+  for (std::uint32_t i = 0; i <= k; ++i) {
+    if (cap > std::numeric_limits<std::size_t>::max() / q) {
+      return std::numeric_limits<std::size_t>::max();
+    }
+    cap *= q;
+  }
+  return cap;
+}
+
+SetFamily truncated_polynomial_family(std::uint32_t q, std::uint32_t k,
+                                      std::uint32_t columns, std::size_t count) {
+  if (k == 0 || k >= columns || columns > q) {
+    throw std::invalid_argument("truncated_polynomial_family: need 1 <= k < columns <= q");
+  }
+  if (count > polynomial_family_capacity(q, k)) {
+    throw std::invalid_argument("truncated_polynomial_family: count exceeds q^(k+1)");
+  }
+  const gf::GaloisField F(q);  // validates q is a prime power
+  const std::size_t universe = static_cast<std::size_t>(columns) * q;
+  std::vector<DynamicBitset> sets;
+  sets.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    const auto coeffs = digits_base_q(w, q, k + 1);
+    DynamicBitset s(universe);
+    for (std::uint32_t i = 0; i < columns; ++i) {
+      s.set(static_cast<std::size_t>(i) * q + gf::eval_poly(F, coeffs, i));
+    }
+    sets.push_back(std::move(s));
+  }
+  return SetFamily(universe, std::move(sets));
+}
+
+SetFamily polynomial_family(std::uint32_t q, std::uint32_t k, std::size_t count) {
+  return truncated_polynomial_family(q, k, q, count);
+}
+
+SetFamily affine_plane_family(std::uint32_t q) {
+  const gf::GaloisField F(q);
+  const std::size_t universe = static_cast<std::size_t>(q) * q;  // points (x, y) -> x*q + y
+  std::vector<DynamicBitset> sets;
+  sets.reserve(static_cast<std::size_t>(q) * q + q);
+  // Non-vertical lines y = a*x + b.
+  for (std::uint32_t a = 0; a < q; ++a) {
+    for (std::uint32_t b = 0; b < q; ++b) {
+      DynamicBitset line(universe);
+      for (std::uint32_t x = 0; x < q; ++x) {
+        line.set(static_cast<std::size_t>(x) * q + F.add(F.mul(a, x), b));
+      }
+      sets.push_back(std::move(line));
+    }
+  }
+  // Vertical lines x = c.
+  for (std::uint32_t c = 0; c < q; ++c) {
+    DynamicBitset line(universe);
+    for (std::uint32_t y = 0; y < q; ++y) {
+      line.set(static_cast<std::size_t>(c) * q + y);
+    }
+    sets.push_back(std::move(line));
+  }
+  return SetFamily(universe, std::move(sets));
+}
+
+SetFamily projective_plane_family(std::uint32_t q) {
+  const gf::GaloisField F(q);
+  // Canonical representatives of PG(2,q) points/lines:
+  //   (1, a, b)  -> index a*q + b                  (q^2 of them)
+  //   (0, 1, a)  -> index q^2 + a                  (q of them)
+  //   (0, 0, 1)  -> index q^2 + q                  (1 of them)
+  const std::size_t universe = static_cast<std::size_t>(q) * q + q + 1;
+  auto point_index = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) -> std::size_t {
+    if (x != 0) {
+      const std::uint32_t xi = F.inv(x);
+      return static_cast<std::size_t>(F.mul(y, xi)) * q + F.mul(z, xi);
+    }
+    if (y != 0) {
+      return static_cast<std::size_t>(q) * q + F.mul(z, F.inv(y));
+    }
+    assert(z != 0);
+    return static_cast<std::size_t>(q) * q + q;
+  };
+
+  // Enumerate lines by the same canonical forms; incidence l . p == 0.
+  std::vector<std::array<std::uint32_t, 3>> lines;
+  lines.reserve(universe);
+  for (std::uint32_t a = 0; a < q; ++a) {
+    for (std::uint32_t b = 0; b < q; ++b) lines.push_back({1, a, b});
+  }
+  for (std::uint32_t a = 0; a < q; ++a) lines.push_back({0, 1, a});
+  lines.push_back({0, 0, 1});
+
+  std::vector<DynamicBitset> sets;
+  sets.reserve(lines.size());
+  for (const auto& l : lines) {
+    DynamicBitset s(universe);
+    // Walk all canonical points and test incidence.
+    auto incident = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+      const std::uint32_t dot = F.add(F.add(F.mul(l[0], x), F.mul(l[1], y)), F.mul(l[2], z));
+      if (dot == 0) s.set(point_index(x, y, z));
+    };
+    for (std::uint32_t a = 0; a < q; ++a) {
+      for (std::uint32_t b = 0; b < q; ++b) incident(1, a, b);
+    }
+    for (std::uint32_t a = 0; a < q; ++a) incident(0, 1, a);
+    incident(0, 0, 1);
+    assert(s.count() == static_cast<std::size_t>(q) + 1);
+    sets.push_back(std::move(s));
+  }
+  return SetFamily(universe, std::move(sets));
+}
+
+namespace {
+
+// Point (i, level) of the Bose/Skolem constructions -> bitset index.
+std::size_t triple_point(std::uint32_t i, std::uint32_t level, std::uint32_t group_size) {
+  return static_cast<std::size_t>(level) * group_size + i;
+}
+
+// Bose construction for v = 6n + 3: points Z_{2n+1} x {0,1,2}; idempotent
+// commutative quasigroup i∘j = (i+j)(n+1) mod (2n+1).
+SetFamily bose_sts(std::uint32_t v) {
+  const std::uint32_t g = v / 3;  // 2n + 1
+  const std::uint32_t n = (g - 1) / 2;
+  const std::uint32_t half = n + 1;  // multiplicative inverse of 2 mod g
+  auto qop = [&](std::uint32_t i, std::uint32_t j) {
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(i + j) * half) % g);
+  };
+  std::vector<DynamicBitset> blocks;
+  blocks.reserve(static_cast<std::size_t>(v) * (v - 1) / 6);
+  for (std::uint32_t i = 0; i < g; ++i) {
+    DynamicBitset b(v);
+    b.set(triple_point(i, 0, g));
+    b.set(triple_point(i, 1, g));
+    b.set(triple_point(i, 2, g));
+    blocks.push_back(std::move(b));
+  }
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    for (std::uint32_t i = 0; i < g; ++i) {
+      for (std::uint32_t j = i + 1; j < g; ++j) {
+        DynamicBitset b(v);
+        b.set(triple_point(i, k, g));
+        b.set(triple_point(j, k, g));
+        b.set(triple_point(qop(i, j), (k + 1) % 3, g));
+        blocks.push_back(std::move(b));
+      }
+    }
+  }
+  return SetFamily(v, std::move(blocks));
+}
+
+// Skolem construction for v = 6n + 1: points (Z_{2n} x {0,1,2}) ∪ {∞};
+// half-idempotent commutative quasigroup i∘j = π((i+j) mod 2n) with
+// π(2k) = k, π(2k+1) = n + k.
+SetFamily skolem_sts(std::uint32_t v) {
+  const std::uint32_t n = (v - 1) / 6;
+  const std::uint32_t g = 2 * n;
+  const std::size_t infinity = static_cast<std::size_t>(3) * g;  // index of ∞
+  auto pi = [&](std::uint32_t s) {
+    return (s % 2 == 0) ? s / 2 : n + (s - 1) / 2;
+  };
+  auto qop = [&](std::uint32_t i, std::uint32_t j) { return pi((i + j) % g); };
+  std::vector<DynamicBitset> blocks;
+  blocks.reserve(static_cast<std::size_t>(v) * (v - 1) / 6);
+  // Type 1: {(i,0),(i,1),(i,2)} for the idempotent half 0 <= i < n.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DynamicBitset b(v);
+    b.set(triple_point(i, 0, g));
+    b.set(triple_point(i, 1, g));
+    b.set(triple_point(i, 2, g));
+    blocks.push_back(std::move(b));
+  }
+  // Type 2: {∞, (n+i, k), (i, k+1)} for 0 <= i < n, k in {0,1,2}.
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      DynamicBitset b(v);
+      b.set(infinity);
+      b.set(triple_point(n + i, k, g));
+      b.set(triple_point(i, (k + 1) % 3, g));
+      blocks.push_back(std::move(b));
+    }
+  }
+  // Type 3: {(i,k),(j,k),(i∘j,k+1)} for i < j.
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    for (std::uint32_t i = 0; i < g; ++i) {
+      for (std::uint32_t j = i + 1; j < g; ++j) {
+        DynamicBitset b(v);
+        b.set(triple_point(i, k, g));
+        b.set(triple_point(j, k, g));
+        b.set(triple_point(qop(i, j), (k + 1) % 3, g));
+        blocks.push_back(std::move(b));
+      }
+    }
+  }
+  return SetFamily(v, std::move(blocks));
+}
+
+}  // namespace
+
+SetFamily steiner_triple_family(std::uint32_t v) {
+  if (v < 7 || (v % 6 != 1 && v % 6 != 3)) {
+    throw std::invalid_argument("steiner_triple_family: need v ≡ 1 or 3 (mod 6), v >= 7");
+  }
+  return (v % 6 == 3) ? bose_sts(v) : skolem_sts(v);
+}
+
+SetFamily tdma_family(std::size_t n) {
+  std::vector<DynamicBitset> sets;
+  sets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DynamicBitset s(n);
+    s.set(i);
+    sets.push_back(std::move(s));
+  }
+  return SetFamily(n, std::move(sets));
+}
+
+bool is_steiner_triple_system(const SetFamily& family) {
+  const std::size_t v = family.universe_size();
+  // pair_count[a][b] for a < b, flattened.
+  std::vector<std::uint8_t> pair_count(v * v, 0);
+  for (const auto& block : family.sets()) {
+    if (block.count() != 3) return false;
+    const auto pts = block.to_vector();
+    const std::size_t pairs[3][2] = {
+        {pts[0], pts[1]}, {pts[0], pts[2]}, {pts[1], pts[2]}};
+    for (const auto& pr : pairs) {
+      auto& c = pair_count[pr[0] * v + pr[1]];
+      if (c == 1) return false;  // pair covered twice
+      c = 1;
+    }
+  }
+  for (std::size_t a = 0; a < v; ++a) {
+    for (std::size_t b = a + 1; b < v; ++b) {
+      if (pair_count[a * v + b] != 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ttdc::comb

@@ -1,0 +1,74 @@
+// The cover-free-family construction zoo.
+//
+// These are the constructions the paper's related work points at for
+// building topology-transparent non-sleeping schedules:
+//   * polynomial codes over GF(q) of degree k  (orthogonal-array / Ju-Li /
+//     Chlamtac-Faragò style): up to q^(k+1) members, universe q^2,
+//     D-cover-free for D <= (q-1)/k;
+//   * affine planes AG(2,q): q^2 + q members, universe q^2, D <= q-1;
+//   * projective planes PG(2,q): q^2 + q + 1 members, universe q^2 + q + 1,
+//     D <= q;
+//   * Steiner triple systems STS(v) (Bose v ≡ 3 mod 6, Skolem v ≡ 1 mod 6):
+//     v(v-1)/6 members, universe v, D <= 2 (2-cover-free);
+//   * the trivial TDMA family: n singleton sets, universe n, any D.
+//
+// All of them return SetFamily; src/core turns a family into the
+// non-sleeping schedule <T> with T[slot] = { x : slot ∈ F_x }.
+#pragma once
+
+#include <cstdint>
+
+#include "combinatorics/set_family.hpp"
+
+namespace ttdc::comb {
+
+/// Polynomial-code family: member w in [0, count) is the polynomial over
+/// GF(q) whose coefficients are the base-q digits of w (degree <= k);
+/// its set is { i*q + f_w(i) : i in [0, q) } in the universe [0, q^2).
+///
+/// Requires q a prime power, 1 <= k < q, count <= q^(k+1).
+/// D-cover-free for every D <= (q-1)/k (distinct degree-<=k polynomials
+/// agree on at most k field points).
+SetFamily polynomial_family(std::uint32_t q, std::uint32_t k, std::size_t count);
+
+/// Number of members available from polynomial_family(q, k, .): q^(k+1),
+/// saturated at SIZE_MAX on overflow.
+std::size_t polynomial_family_capacity(std::uint32_t q, std::uint32_t k);
+
+/// Column-truncated polynomial family: like polynomial_family but
+/// evaluating only at the first `columns` field points, universe
+/// [0, columns * q). Two distinct members still agree in at most k slots,
+/// so the family is D-cover-free for D <= (columns - 1) / k — with the
+/// minimum columns = k*D + 1 this shortens the frame from q^2 to
+/// (k*D + 1) * q at the same capacity q^(k+1), at the price of fewer
+/// guaranteed slots per frame (1 instead of q - D*k in the worst case).
+/// Requires 1 <= k < columns <= q.
+SetFamily truncated_polynomial_family(std::uint32_t q, std::uint32_t k,
+                                      std::uint32_t columns, std::size_t count);
+
+/// Affine plane AG(2,q): members are the q^2 + q lines, universe the q^2
+/// points; each line has q points, two lines meet in <= 1 point, so
+/// D-cover-free for D <= q - 1. Requires q a prime power.
+SetFamily affine_plane_family(std::uint32_t q);
+
+/// Projective plane PG(2,q): members are the q^2 + q + 1 lines, universe the
+/// q^2 + q + 1 points; each line has q + 1 points, two lines meet in exactly
+/// one point, so D-cover-free for D <= q. Requires q a prime power.
+SetFamily projective_plane_family(std::uint32_t q);
+
+/// Steiner triple system STS(v): members are the v(v-1)/6 triples, universe
+/// the v points; 2-cover-free. Requires v ≡ 1 or 3 (mod 6), v >= 7.
+/// Uses the Bose construction for v ≡ 3 (mod 6) and the Skolem
+/// (half-idempotent quasigroup) construction for v ≡ 1 (mod 6).
+SetFamily steiner_triple_family(std::uint32_t v);
+
+/// The classical TDMA family: n members, universe n, member i = {i}.
+/// Cover-free for every D (disjoint sets); frame length n.
+SetFamily tdma_family(std::size_t n);
+
+/// True if every pair of points appears in exactly one member triple --
+/// the Steiner-system axiom; used by tests and benches as the oracle for
+/// steiner_triple_family.
+bool is_steiner_triple_system(const SetFamily& family);
+
+}  // namespace ttdc::comb

@@ -1,0 +1,98 @@
+#include "combinatorics/orthogonal_array.hpp"
+
+#include <stdexcept>
+
+#include "gf/field.hpp"
+#include "util/subsets.hpp"
+
+namespace ttdc::comb {
+
+OrthogonalArray::OrthogonalArray(std::size_t num_rows, std::size_t num_columns,
+                                 std::uint32_t levels, std::vector<std::uint32_t> entries)
+    : num_rows_(num_rows), num_columns_(num_columns), levels_(levels),
+      entries_(std::move(entries)) {
+  if (num_rows_ == 0 || num_columns_ == 0 || levels_ < 2) {
+    throw std::invalid_argument("OrthogonalArray: need rows, columns >= 1 and levels >= 2");
+  }
+  if (entries_.size() != num_rows_ * num_columns_) {
+    throw std::invalid_argument("OrthogonalArray: entry count != rows * columns");
+  }
+  for (std::uint32_t e : entries_) {
+    if (e >= levels_) throw std::invalid_argument("OrthogonalArray: entry out of range");
+  }
+}
+
+bool OrthogonalArray::verify_strength(std::uint32_t t) const {
+  if (t == 0 || t > num_columns_) return false;
+  // Strength t with index λ requires N = λ q^t rows for integer λ >= 1,
+  // and every t-tuple to appear exactly λ times in every t-column choice.
+  std::size_t tuples = 1;
+  for (std::uint32_t i = 0; i < t; ++i) {
+    if (tuples > num_rows_) return false;
+    tuples *= levels_;
+  }
+  if (num_rows_ % tuples != 0) return false;
+  const std::size_t lambda = num_rows_ / tuples;
+
+  std::vector<std::size_t> count(tuples);
+  bool ok = true;
+  util::for_each_k_subset(num_columns_, t, [&](std::span<const std::size_t> cols) {
+    std::fill(count.begin(), count.end(), 0);
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      std::size_t code = 0;
+      for (std::size_t c : cols) code = code * levels_ + at(r, c);
+      if (++count[code] > lambda) {
+        ok = false;
+        return false;  // a t-tuple over-represented
+      }
+    }
+    // Total rows == lambda * tuples and no code exceeded lambda, so every
+    // code appeared exactly lambda times.
+    return true;
+  });
+  return ok;
+}
+
+OrthogonalArray polynomial_orthogonal_array(std::uint32_t q, std::uint32_t strength,
+                                            std::uint32_t num_columns) {
+  if (strength == 0 || strength > q || num_columns == 0 || num_columns > q) {
+    throw std::invalid_argument(
+        "polynomial_orthogonal_array: need 1 <= t <= q and 1 <= k <= q");
+  }
+  const gf::GaloisField F(q);
+  std::size_t rows = 1;
+  for (std::uint32_t i = 0; i < strength; ++i) rows *= q;
+  std::vector<std::uint32_t> entries;
+  entries.reserve(rows * num_columns);
+  std::vector<std::uint32_t> coeffs(strength);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t w = r;
+    for (std::uint32_t i = 0; i < strength; ++i) {
+      coeffs[i] = static_cast<std::uint32_t>(w % q);
+      w /= q;
+    }
+    for (std::uint32_t c = 0; c < num_columns; ++c) {
+      entries.push_back(gf::eval_poly(F, coeffs, c));
+    }
+  }
+  return OrthogonalArray(rows, num_columns, q, std::move(entries));
+}
+
+SetFamily oa_to_family(const OrthogonalArray& oa, std::size_t member_count) {
+  if (member_count > oa.num_rows()) {
+    throw std::invalid_argument("oa_to_family: member_count exceeds OA rows");
+  }
+  const std::size_t universe = oa.num_columns() * oa.levels();
+  std::vector<util::DynamicBitset> sets;
+  sets.reserve(member_count);
+  for (std::size_t r = 0; r < member_count; ++r) {
+    util::DynamicBitset s(universe);
+    for (std::size_t c = 0; c < oa.num_columns(); ++c) {
+      s.set(c * oa.levels() + oa.at(r, c));
+    }
+    sets.push_back(std::move(s));
+  }
+  return SetFamily(universe, std::move(sets));
+}
+
+}  // namespace ttdc::comb

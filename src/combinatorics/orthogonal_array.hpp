@@ -1,0 +1,66 @@
+// Orthogonal arrays and their bridge to cover-free families.
+//
+// The paper's §2: "the constructions in [Chlamtac-Faragò 94, Ju-Li 98] are
+// indeed to construct a cover-free family using an orthogonal array", and
+// [Syrotiuk-Colbourn-Ling 03] works from OAs directly. This module makes
+// the object explicit: an OA(N, k, q, t) of index 1 (N = q^t runs, k
+// factors, q levels, strength t), the classical polynomial construction
+// over GF(q), exact strength verification, and the OA -> set-family adapter
+// whose output feeds the schedule builders.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "combinatorics/set_family.hpp"
+
+namespace ttdc::comb {
+
+/// An N x k array with entries in [0, q). Strength t with index 1 means:
+/// in every N x t subarray, every t-tuple over [0, q) appears exactly once
+/// (so N = q^t).
+class OrthogonalArray {
+ public:
+  /// rows: row-major N x k entries. Validates shape only; use
+  /// verify_strength for the combinatorial property.
+  OrthogonalArray(std::size_t num_rows, std::size_t num_columns, std::uint32_t levels,
+                  std::vector<std::uint32_t> entries);
+
+  [[nodiscard]] std::size_t num_rows() const { return num_rows_; }
+  [[nodiscard]] std::size_t num_columns() const { return num_columns_; }
+  [[nodiscard]] std::uint32_t levels() const { return levels_; }
+
+  [[nodiscard]] std::uint32_t at(std::size_t row, std::size_t column) const {
+    return entries_[row * num_columns_ + column];
+  }
+
+  /// Exact strength-t check at the natural index λ = N / q^t: every
+  /// t-column projection hits every t-tuple exactly λ times (false when
+  /// q^t does not divide N). Cost C(k, t) * N.
+  [[nodiscard]] bool verify_strength(std::uint32_t t) const;
+
+ private:
+  std::size_t num_rows_;
+  std::size_t num_columns_;
+  std::uint32_t levels_;
+  std::vector<std::uint32_t> entries_;
+};
+
+/// The classical polynomial OA(q^t, k, q, t) of index 1 over GF(q):
+/// rows are the q^t polynomials of degree < t, columns the first k field
+/// points (k <= q), entry (f, x) = f(x). Requires q a prime power,
+/// 1 <= t <= q, k <= q.
+OrthogonalArray polynomial_orthogonal_array(std::uint32_t q, std::uint32_t strength,
+                                            std::uint32_t num_columns);
+
+/// The Chlamtac-Faragò / Ju-Li adapter: row r of the OA becomes member r's
+/// set { c * q + A[r][c] : c in [0, k) } in the universe [0, k * q) -- each
+/// column is a subframe of q slots and the member transmits in the slot
+/// selected by its symbol.
+///
+/// For an OA of strength t and index 1, two distinct rows agree in at most
+/// t - 1 columns, so the family is D-cover-free for D <= (k - 1) / (t - 1)
+/// (equivalently the polynomial family with k = q, degree t - 1).
+SetFamily oa_to_family(const OrthogonalArray& oa, std::size_t member_count);
+
+}  // namespace ttdc::comb

@@ -1,0 +1,146 @@
+#include "combinatorics/params.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "combinatorics/constructions.hpp"
+#include "gf/field.hpp"
+
+namespace ttdc::comb {
+
+std::string to_string(FamilyKind kind) {
+  switch (kind) {
+    case FamilyKind::kPolynomial: return "polynomial";
+    case FamilyKind::kTruncatedPolynomial: return "truncated-oa";
+    case FamilyKind::kAffinePlane: return "affine-plane";
+    case FamilyKind::kProjectivePlane: return "projective-plane";
+    case FamilyKind::kSteinerTriple: return "steiner-triple";
+    case FamilyKind::kTdma: return "tdma";
+  }
+  return "?";
+}
+
+std::string FamilyPlan::to_string() const {
+  std::ostringstream os;
+  os << comb::to_string(kind);
+  switch (kind) {
+    case FamilyKind::kPolynomial: os << "(q=" << q << ",k=" << k << ")"; break;
+    case FamilyKind::kTruncatedPolynomial:
+      os << "(q=" << q << ",k=" << k << ",cols=" << columns << ")";
+      break;
+    case FamilyKind::kAffinePlane:
+    case FamilyKind::kProjectivePlane: os << "(q=" << q << ")"; break;
+    case FamilyKind::kSteinerTriple: os << "(v=" << q << ")"; break;
+    case FamilyKind::kTdma: os << "(n=" << capacity << ")"; break;
+  }
+  os << " L=" << frame_length << " cap=" << capacity << " D<=" << max_degree;
+  return os.str();
+}
+
+std::vector<FamilyPlan> enumerate_plans(std::size_t n, std::size_t d,
+                                        std::size_t max_frame_length) {
+  if (n == 0 || d == 0) throw std::invalid_argument("enumerate_plans: need n, d >= 1");
+  if (max_frame_length == 0) max_frame_length = std::max<std::size_t>(n, 16);
+  std::vector<FamilyPlan> plans;
+
+  // TDMA is the universal fallback: frame n, any D.
+  plans.push_back(FamilyPlan{FamilyKind::kTdma, 0, 0, 0, n, n, n > 0 ? n - 1 : 0});
+
+  // Polynomial families: for each degree bound k, the smallest prime power q
+  // with q >= k*D + 1 and q^(k+1) >= n; frame q^2. Additionally the
+  // column-truncated variant keeping only k*D + 1 evaluation points:
+  // frame (k*D + 1) * q at the same capacity (minimum worst-case slack:
+  // exactly one guaranteed slot per link per frame).
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    std::uint64_t q = gf::next_prime_power(std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(k) * d + 1, 2));
+    // Also need capacity q^(k+1) >= n.
+    while (polynomial_family_capacity(static_cast<std::uint32_t>(q), k) < n) {
+      q = gf::next_prime_power(q + 1);
+    }
+    const std::size_t frame = static_cast<std::size_t>(q) * q;
+    if (frame > max_frame_length * 4 && k > 1) continue;  // hopeless for this n
+    FamilyPlan plan;
+    plan.kind = FamilyKind::kPolynomial;
+    plan.q = static_cast<std::uint32_t>(q);
+    plan.k = k;
+    plan.capacity = polynomial_family_capacity(plan.q, k);
+    plan.frame_length = frame;
+    plan.max_degree = (q - 1) / k;
+    plans.push_back(plan);
+
+    const auto columns = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(k) * d + 1, q));
+    if (columns < q) {
+      FamilyPlan trunc = plan;
+      trunc.kind = FamilyKind::kTruncatedPolynomial;
+      trunc.columns = columns;
+      trunc.frame_length = static_cast<std::size_t>(columns) * q;
+      trunc.max_degree = (columns - 1) / k;  // == d by construction
+      plans.push_back(trunc);
+    }
+  }
+
+  // Affine plane: smallest prime power q with q >= D + 1 and q^2 + q >= n.
+  {
+    std::uint64_t q = gf::next_prime_power(std::max<std::uint64_t>(d + 1, 2));
+    while (q * q + q < n) q = gf::next_prime_power(q + 1);
+    plans.push_back(FamilyPlan{FamilyKind::kAffinePlane, static_cast<std::uint32_t>(q), 0, 0,
+                               static_cast<std::size_t>(q * q + q),
+                               static_cast<std::size_t>(q * q), static_cast<std::size_t>(q - 1)});
+  }
+
+  // Projective plane: smallest prime power q with q >= D and q^2 + q + 1 >= n.
+  {
+    std::uint64_t q = gf::next_prime_power(std::max<std::uint64_t>(d, 2));
+    while (q * q + q + 1 < n) q = gf::next_prime_power(q + 1);
+    plans.push_back(FamilyPlan{FamilyKind::kProjectivePlane, static_cast<std::uint32_t>(q), 0,
+                               0, static_cast<std::size_t>(q * q + q + 1),
+                               static_cast<std::size_t>(q * q + q + 1),
+                               static_cast<std::size_t>(q)});
+  }
+
+  // Steiner triple systems only support D <= 2.
+  if (d <= 2) {
+    std::uint32_t v = 7;
+    while (static_cast<std::size_t>(v) * (v - 1) / 6 < n ||
+           (v % 6 != 1 && v % 6 != 3)) {
+      ++v;
+    }
+    plans.push_back(FamilyPlan{FamilyKind::kSteinerTriple, v, 0, 0,
+                               static_cast<std::size_t>(v) * (v - 1) / 6, v, 2});
+  }
+
+  // Keep only feasible plans and sort by frame length.
+  std::erase_if(plans, [&](const FamilyPlan& p) {
+    return p.capacity < n || p.max_degree < d || p.frame_length > max_frame_length;
+  });
+  std::sort(plans.begin(), plans.end(), [](const FamilyPlan& a, const FamilyPlan& b) {
+    if (a.frame_length != b.frame_length) return a.frame_length < b.frame_length;
+    return a.capacity > b.capacity;
+  });
+  return plans;
+}
+
+FamilyPlan best_plan(std::size_t n, std::size_t d) {
+  const auto plans = enumerate_plans(n, d);
+  if (plans.empty()) throw std::logic_error("best_plan: no feasible plan (TDMA should always fit)");
+  return plans.front();
+}
+
+SetFamily build_plan(const FamilyPlan& plan, std::size_t n) {
+  if (n > plan.capacity) throw std::invalid_argument("build_plan: n exceeds plan capacity");
+  switch (plan.kind) {
+    case FamilyKind::kPolynomial: return polynomial_family(plan.q, plan.k, n);
+    case FamilyKind::kTruncatedPolynomial:
+      return truncated_polynomial_family(plan.q, plan.k, plan.columns, n);
+    case FamilyKind::kAffinePlane: return affine_plane_family(plan.q).truncated(n);
+    case FamilyKind::kProjectivePlane: return projective_plane_family(plan.q).truncated(n);
+    case FamilyKind::kSteinerTriple: return steiner_triple_family(plan.q).truncated(n);
+    case FamilyKind::kTdma: return tdma_family(n);
+  }
+  throw std::logic_error("build_plan: unknown family kind");
+}
+
+}  // namespace ttdc::comb

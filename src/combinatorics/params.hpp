@@ -1,0 +1,58 @@
+// Parameter selection: which cover-free family should back a
+// topology-transparent schedule for the network class N_n^D?
+//
+// The paper takes the non-sleeping schedule as given; downstream users need
+// the planner below, which searches the construction zoo for the smallest
+// frame length supporting (n, D).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "combinatorics/set_family.hpp"
+
+namespace ttdc::comb {
+
+enum class FamilyKind : std::uint8_t {
+  kPolynomial,          // polynomial_family(q, k)
+  kTruncatedPolynomial, // truncated_polynomial_family(q, k, columns)
+  kAffinePlane,         // affine_plane_family(q)
+  kProjectivePlane,     // projective_plane_family(q)
+  kSteinerTriple,       // steiner_triple_family(v)
+  kTdma,                // tdma_family(n)
+};
+
+[[nodiscard]] std::string to_string(FamilyKind kind);
+
+/// A candidate plan: which construction, with which parameters, and the
+/// frame length / capacity it yields.
+struct FamilyPlan {
+  FamilyKind kind;
+  std::uint32_t q = 0;        // field order (polynomial/planes) or v (STS)
+  std::uint32_t k = 0;        // polynomial degree bound (polynomial only)
+  std::uint32_t columns = 0;  // evaluation points kept (truncated OA only)
+  std::size_t capacity = 0;   // max number of supported nodes
+  std::size_t frame_length = 0;
+  std::size_t max_degree = 0;  // largest D the family is cover-free for
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// All constructions from the zoo that support at least n members with
+/// cover-free degree >= D, sorted by frame length ascending (ties: larger
+/// capacity first). Search is bounded by `max_frame_length` (0 = the TDMA
+/// fallback bound, frame length n).
+std::vector<FamilyPlan> enumerate_plans(std::size_t n, std::size_t d,
+                                        std::size_t max_frame_length = 0);
+
+/// The shortest-frame plan for (n, D); TDMA (frame n) always qualifies, so
+/// this never fails for n >= 1, D >= 1.
+FamilyPlan best_plan(std::size_t n, std::size_t d);
+
+/// Materializes a plan into the actual family, truncated to exactly n
+/// members.
+SetFamily build_plan(const FamilyPlan& plan, std::size_t n);
+
+}  // namespace ttdc::comb

@@ -1,0 +1,177 @@
+#include "combinatorics/set_family.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <sstream>
+
+#include "util/parallel.hpp"
+#include "util/subsets.hpp"
+
+namespace ttdc::comb {
+
+SetFamily::SetFamily(std::size_t universe_size, std::vector<util::DynamicBitset> sets)
+    : universe_size_(universe_size), sets_(std::move(sets)) {
+  for ([[maybe_unused]] const auto& s : sets_) assert(s.size() == universe_size_);
+}
+
+std::size_t SetFamily::min_set_size() const {
+  std::size_t m = universe_size_ + 1;
+  for (const auto& s : sets_) m = std::min(m, s.count());
+  return sets_.empty() ? 0 : m;
+}
+
+std::size_t SetFamily::max_set_size() const {
+  std::size_t m = 0;
+  for (const auto& s : sets_) m = std::max(m, s.count());
+  return m;
+}
+
+std::size_t SetFamily::max_pairwise_intersection() const {
+  std::size_t lambda = 0;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets_.size(); ++j) {
+      lambda = std::max(lambda, sets_[i].intersection_count(sets_[j]));
+    }
+  }
+  return lambda;
+}
+
+std::size_t SetFamily::cover_free_degree_certificate() const {
+  if (sets_.size() < 2) return 0;
+  const std::size_t w = min_set_size();
+  if (w == 0) return 0;
+  const std::size_t lambda = max_pairwise_intersection();
+  if (lambda == 0) return sets_.size() - 1;
+  return (w - 1) / lambda;
+}
+
+SetFamily SetFamily::truncated(std::size_t count) const {
+  assert(count <= sets_.size());
+  return SetFamily(universe_size_,
+                   std::vector<util::DynamicBitset>(sets_.begin(), sets_.begin() + count));
+}
+
+std::string CoverViolation::to_string() const {
+  std::ostringstream os;
+  os << "member " << member << " covered by {";
+  for (std::size_t i = 0; i < covering.size(); ++i) {
+    if (i) os << ", ";
+    os << covering[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+namespace {
+
+// Checks whether member x's set is covered by the union of `others`' sets.
+bool covered_by(const SetFamily& family, std::size_t x, std::span<const std::size_t> others) {
+  util::DynamicBitset uncovered = family.set_of(x);
+  for (std::size_t o : others) {
+    uncovered.subtract(family.set_of(o));
+    if (uncovered.none()) return true;
+  }
+  return uncovered.none();
+}
+
+}  // namespace
+
+std::optional<CoverViolation> find_cover_violation_exact(const SetFamily& family,
+                                                         std::size_t d) {
+  const std::size_t n = family.num_members();
+  if (n == 0 || d == 0) return std::nullopt;
+  std::optional<CoverViolation> result;
+  std::mutex result_mutex;
+  std::atomic<bool> found{false};
+
+  util::parallel_for(0, n, [&](std::size_t x) {
+    if (found.load(std::memory_order_relaxed)) return;
+    // The pool of members other than x, by index.
+    std::vector<std::size_t> pool;
+    pool.reserve(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != x) pool.push_back(i);
+    }
+    util::for_each_k_subset(pool.size(), std::min(d, pool.size()),
+                            [&](std::span<const std::size_t> idx) {
+                              std::vector<std::size_t> others(idx.size());
+                              for (std::size_t i = 0; i < idx.size(); ++i) {
+                                others[i] = pool[idx[i]];
+                              }
+                              if (covered_by(family, x, others)) {
+                                std::lock_guard lock(result_mutex);
+                                if (!result) result = CoverViolation{x, others};
+                                found.store(true, std::memory_order_relaxed);
+                                return false;
+                              }
+                              return !found.load(std::memory_order_relaxed);
+                            });
+  });
+  return result;
+}
+
+std::optional<CoverViolation> find_cover_violation_sampled(const SetFamily& family,
+                                                           std::size_t d, std::size_t trials,
+                                                           util::Xoshiro256& rng) {
+  const std::size_t n = family.num_members();
+  if (n < 2 || d == 0) return std::nullopt;
+  const std::size_t dd = std::min(d, n - 1);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::size_t x = static_cast<std::size_t>(rng.below(n));
+    // Sample a D-subset of [0, n-1) and shift indices >= x by one to skip x.
+    std::vector<std::size_t> others = util::sample_k_of(n - 1, dd, rng);
+    for (auto& o : others) {
+      if (o >= x) ++o;
+    }
+    if (covered_by(family, x, others)) return CoverViolation{x, others};
+  }
+  return std::nullopt;
+}
+
+std::optional<CoverViolation> find_cover_violation_greedy(const SetFamily& family,
+                                                          std::size_t d) {
+  const std::size_t n = family.num_members();
+  if (n < 2 || d == 0) return std::nullopt;
+  const std::size_t dd = std::min(d, n - 1);
+  std::optional<CoverViolation> result;
+  std::mutex result_mutex;
+
+  util::parallel_for(0, n, [&](std::size_t x) {
+    util::DynamicBitset uncovered = family.set_of(x);
+    std::vector<std::size_t> chosen;
+    std::vector<bool> used(n, false);
+    used[x] = true;
+    for (std::size_t round = 0; round < dd && uncovered.any(); ++round) {
+      std::size_t best = n;
+      std::size_t best_gain = 0;
+      for (std::size_t o = 0; o < n; ++o) {
+        if (used[o]) continue;
+        const std::size_t gain = uncovered.intersection_count(family.set_of(o));
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = o;
+        }
+      }
+      if (best == n) break;  // nothing overlaps the remainder
+      used[best] = true;
+      chosen.push_back(best);
+      uncovered.subtract(family.set_of(best));
+    }
+    if (uncovered.none()) {
+      // Pad to exactly dd members (covering stays valid with extras).
+      for (std::size_t o = 0; o < n && chosen.size() < dd; ++o) {
+        if (!used[o]) {
+          used[o] = true;
+          chosen.push_back(o);
+        }
+      }
+      std::lock_guard lock(result_mutex);
+      if (!result) result = CoverViolation{x, chosen};
+    }
+  });
+  return result;
+}
+
+}  // namespace ttdc::comb

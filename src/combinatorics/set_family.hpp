@@ -1,0 +1,84 @@
+// Set families over a finite universe, and D-cover-freeness verification.
+//
+// A topology-transparent non-sleeping schedule for N_n^D is exactly a
+// D-cover-free family (CFF): assign node x the slot set F_x; Requirement 1
+// ("freeSlots(x, Y) != empty for every D-set Y") says no member set is
+// covered by the union of any D others [Syrotiuk-Colbourn-Ling 03,
+// Colbourn-Ling-Syrotiuk 04]. This module is the bridge between the design
+// theory (src/combinatorics/constructions.*) and schedules (src/core).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::comb {
+
+/// A family of subsets of the universe [0, universe_size).
+/// Member i's set is sets()[i]; all bitsets share the same universe size.
+class SetFamily {
+ public:
+  SetFamily(std::size_t universe_size, std::vector<util::DynamicBitset> sets);
+
+  [[nodiscard]] std::size_t universe_size() const { return universe_size_; }
+  [[nodiscard]] std::size_t num_members() const { return sets_.size(); }
+  [[nodiscard]] const util::DynamicBitset& set_of(std::size_t member) const {
+    return sets_[member];
+  }
+  [[nodiscard]] const std::vector<util::DynamicBitset>& sets() const { return sets_; }
+
+  /// Smallest and largest member-set cardinalities.
+  [[nodiscard]] std::size_t min_set_size() const;
+  [[nodiscard]] std::size_t max_set_size() const;
+
+  /// Largest pairwise intersection |F_x ∩ F_y| over distinct members. A
+  /// family with min set size w and max pairwise intersection λ is
+  /// D-cover-free for all D <= (w-1)/λ (D < w/λ); this is the cheap
+  /// O(n^2 L/64) sufficient certificate used before the exact check.
+  [[nodiscard]] std::size_t max_pairwise_intersection() const;
+
+  /// D guaranteed by the (w, λ) certificate: floor((w-1)/λ), or num_members-1
+  /// if λ == 0 (disjoint sets). Zero-member/one-member families return 0.
+  [[nodiscard]] std::size_t cover_free_degree_certificate() const;
+
+  /// Restricts the family to its first `count` members.
+  [[nodiscard]] SetFamily truncated(std::size_t count) const;
+
+ private:
+  std::size_t universe_size_;
+  std::vector<util::DynamicBitset> sets_;
+};
+
+/// Witness of a cover-freeness violation: member x's set is covered by the
+/// union of the listed members' sets.
+struct CoverViolation {
+  std::size_t member;
+  std::vector<std::size_t> covering;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Exact D-cover-freeness check by enumerating, for every member x, every
+/// D-subset of the remaining members (early exit on first violation;
+/// parallel over x). Cost n * C(n-1, D) bitset folds -- use for small/medium
+/// instances and in tests.
+std::optional<CoverViolation> find_cover_violation_exact(const SetFamily& family,
+                                                         std::size_t d);
+
+/// Monte-Carlo check: samples `trials` random (x, D-subset) pairs. Returns a
+/// violation if one is found; nullopt means "no violation found", not proof.
+std::optional<CoverViolation> find_cover_violation_sampled(const SetFamily& family,
+                                                           std::size_t d, std::size_t trials,
+                                                           util::Xoshiro256& rng);
+
+/// Greedy adversarial check: for each member x, greedily picks the D other
+/// members covering most of F_x. Finds violations the sampler misses when
+/// they are rare; still not a proof of cover-freeness when it returns
+/// nullopt.
+std::optional<CoverViolation> find_cover_violation_greedy(const SetFamily& family,
+                                                          std::size_t d);
+
+}  // namespace ttdc::comb

@@ -1,0 +1,54 @@
+// Schedule builders: cover-free families -> non-sleeping schedules, random
+// schedules for the property tests, and the paper's Figure 1 example.
+#pragma once
+
+#include <cstddef>
+
+#include "combinatorics/set_family.hpp"
+#include "core/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::core {
+
+/// Builds the non-sleeping schedule <T> from a cover-free family: node x
+/// transmits exactly in the slots of its member set, T[i] = {x : i ∈ F_x},
+/// R[i] = V - T[i]. If the family is D-cover-free, <T> satisfies
+/// Requirement 1 for N_n^D.
+///
+/// Slots in which no node transmits contribute nothing and inflate the
+/// frame; they are dropped by default (dropping such a slot removes no
+/// element from any tran(x), so topology-transparency is preserved while
+/// both throughputs improve).
+Schedule non_sleeping_from_family(const comb::SetFamily& family, bool drop_empty_slots = true);
+
+/// A uniform random non-sleeping schedule: each slot's transmitter set is a
+/// uniform random t-subset of V. Generally NOT topology-transparent; used
+/// by the Theorem 2/3 property tests.
+Schedule random_non_sleeping_schedule(std::size_t num_nodes, std::size_t frame_length,
+                                      std::size_t transmitters_per_slot,
+                                      util::Xoshiro256& rng);
+
+/// A random (αT, αR)-schedule: per slot, uniformly random disjoint
+/// transmitter/receiver sets with |T[i]| in [1, αT] and |R[i]| in [1, αR]
+/// (sizes uniform unless exact_sizes, in which case |T[i]| = αT,
+/// |R[i]| = αR). Generally NOT topology-transparent.
+Schedule random_alpha_schedule(std::size_t num_nodes, std::size_t frame_length,
+                               std::size_t alpha_t, std::size_t alpha_r, bool exact_sizes,
+                               util::Xoshiro256& rng);
+
+/// The Figure 1 witness (§5.2): a specific topology plus two schedules —
+/// a non-sleeping <T> and a duty-cycled <T, R'> in which some nodes sleep —
+/// that deliver identical guaranteed-success slot sets on every link of
+/// that topology. The exact instance printed in the paper's Figure 1 is not
+/// recoverable from our copy, so this is an equivalent witness of the same
+/// claim, machine-checked in tests/bench.
+struct Figure1Example {
+  std::size_t num_nodes;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;  // undirected
+  Schedule non_sleeping;
+  Schedule duty_cycled;
+};
+
+Figure1Example figure1_example();
+
+}  // namespace ttdc::core

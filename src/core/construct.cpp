@@ -1,0 +1,144 @@
+#include "core/construct.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "core/throughput.hpp"
+
+namespace ttdc::core {
+
+namespace {
+
+// Divides `members` into k = ⌈|members|/cap⌉ subsets of size exactly
+// min(cap, |members|) whose union is `members` (Figure 2, lines 3-4).
+// Subsets are cyclic windows over the member list; the two policies differ
+// only in where the windows start.
+std::vector<std::vector<std::size_t>> divide(const std::vector<std::size_t>& members,
+                                             std::size_t cap, DivisionPolicy policy) {
+  assert(cap >= 1);
+  const std::size_t s = members.size();
+  if (s == 0) return {};
+  const std::size_t size = std::min(cap, s);
+  const std::size_t k = (s + cap - 1) / cap;
+  std::vector<std::vector<std::size_t>> subsets(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::size_t start = 0;
+    switch (policy) {
+      case DivisionPolicy::kContiguous:
+        // Last window wraps to the front when s is not a multiple of cap.
+        start = std::min(j * cap, s - size);
+        break;
+      case DivisionPolicy::kBalanced:
+        // Evenly spread starts; consecutive starts differ by <= size, so the
+        // windows cover every member, with multiplicities differing by <= 1.
+        start = (j * s) / k;
+        break;
+    }
+    auto& subset = subsets[j];
+    subset.reserve(size);
+    for (std::size_t t = 0; t < size; ++t) subset.push_back(members[(start + t) % s]);
+  }
+  return subsets;
+}
+
+}  // namespace
+
+Schedule construct_duty_cycled(const Schedule& non_sleeping, std::size_t degree_bound,
+                               std::size_t alpha_t, std::size_t alpha_r,
+                               const ConstructOptions& options) {
+  const std::size_t n = non_sleeping.num_nodes();
+  if (!non_sleeping.is_non_sleeping()) {
+    throw std::invalid_argument("construct_duty_cycled: input must be non-sleeping");
+  }
+  if (alpha_t < 1 || alpha_r < 1 || alpha_t + alpha_r > n) {
+    throw std::invalid_argument("construct_duty_cycled: need 1 <= αT, αR and αT + αR <= n");
+  }
+  const std::size_t cap_t = options.use_alpha_t_verbatim
+                                ? alpha_t
+                                : optimal_transmitters_alpha(n, degree_bound, alpha_t);
+
+  std::vector<DynamicBitset> out_t;
+  std::vector<DynamicBitset> out_r;
+  const std::size_t L = non_sleeping.frame_length();
+  for (std::size_t i = 0; i < L; ++i) {
+    const auto t_members = non_sleeping.transmitters(i).to_vector();
+    const auto r_members = non_sleeping.receivers(i).to_vector();
+    const auto t_subsets = divide(t_members, cap_t, options.division);
+    const auto r_subsets = divide(r_members, alpha_r, options.division);
+    for (const auto& ta : t_subsets) {
+      DynamicBitset tbar(n);
+      for (std::size_t v : ta) tbar.set(v);
+      for (const auto& rb : r_subsets) {
+        DynamicBitset rbar(n);
+        for (std::size_t v : rb) rbar.set(v);
+        // Line 8: pad the receiver set up to αR from V - T̄[k]. Feasible
+        // because |T̄[k]| <= αT and αT + αR <= n.
+        if (rbar.count() < alpha_r) {
+          for (std::size_t v = 0; v < n && rbar.count() < alpha_r; ++v) {
+            if (!tbar.test(v) && !rbar.test(v)) rbar.set(v);
+          }
+          assert(rbar.count() == alpha_r);
+        }
+        out_t.push_back(tbar);
+        out_r.push_back(std::move(rbar));
+      }
+    }
+  }
+  return Schedule(n, std::move(out_t), std::move(out_r));
+}
+
+std::size_t constructed_frame_length(const Schedule& non_sleeping, std::size_t alpha_t_star,
+                                     std::size_t alpha_r) {
+  const std::size_t n = non_sleeping.num_nodes();
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < non_sleeping.frame_length(); ++i) {
+    const std::size_t t = non_sleeping.transmit_sizes()[i];
+    const std::size_t r = n - t;
+    const std::size_t kt = t == 0 ? 0 : (t + alpha_t_star - 1) / alpha_t_star;
+    const std::size_t kr = r == 0 ? 0 : (r + alpha_r - 1) / alpha_r;
+    total += kt * kr;
+  }
+  return total;
+}
+
+std::size_t constructed_frame_length_bound(const Schedule& non_sleeping,
+                                           std::size_t alpha_t_star, std::size_t alpha_r) {
+  const std::size_t n = non_sleeping.num_nodes();
+  const std::size_t max_t = non_sleeping.max_transmitters();
+  const std::size_t min_t = non_sleeping.min_transmitters();
+  const std::size_t kt = (max_t + alpha_t_star - 1) / alpha_t_star;
+  const std::size_t kr = (n - min_t + alpha_r - 1) / alpha_r;
+  return kt * kr * non_sleeping.frame_length();
+}
+
+long double theorem8_ratio_lower_bound(const Schedule& non_sleeping, std::size_t degree_bound,
+                                       std::size_t alpha_t, std::size_t alpha_r) {
+  const std::size_t n = non_sleeping.num_nodes();
+  const std::size_t cap_t = optimal_transmitters_alpha(n, degree_bound, alpha_t);
+  const std::size_t min_t = non_sleeping.min_transmitters();
+  std::size_t a1 = 0, a2 = 0;
+  for (std::size_t t : non_sleeping.transmit_sizes()) {
+    (t < cap_t ? a1 : a2) += 1;
+  }
+  if (a1 == 0) return 1.0L;  // M_in >= αT*: the construction is optimal
+  const std::size_t alpha_m = std::max(cap_t, alpha_r);
+  const std::size_t numer_c = (n + alpha_m - 1) / alpha_m;  // ⌈n/α_m⌉
+  const std::size_t denom_c = (n - min_t + alpha_r - 1) / alpha_r;
+  const long double c =
+      static_cast<long double>(numer_c - 1) / static_cast<long double>(denom_c);
+  const long double r_min = optimality_ratio_r(n, degree_bound, alpha_t, min_t);
+  return (r_min * static_cast<long double>(a1) + c * static_cast<long double>(a2)) /
+         (static_cast<long double>(a1) + c * static_cast<long double>(a2));
+}
+
+long double theorem9_min_throughput_bound(const Schedule& non_sleeping,
+                                          std::size_t min_guaranteed_slots_of_t,
+                                          std::size_t alpha_t_star, std::size_t alpha_r) {
+  const std::size_t lbar = constructed_frame_length(non_sleeping, alpha_t_star, alpha_r);
+  if (lbar == 0) return 0.0L;
+  return static_cast<long double>(min_guaranteed_slots_of_t) / static_cast<long double>(lbar);
+}
+
+}  // namespace ttdc::core

@@ -1,0 +1,81 @@
+// The paper's construction (§6, Figure 2): converting a topology-transparent
+// non-sleeping schedule <T> into a topology-transparent (αT, αR)-schedule.
+//
+// For each slot i of <T>:
+//   * T[i] is divided into k_T = ⌈|T[i]|/αT*⌉ subsets of size exactly
+//     min(αT*, |T[i]|) whose union is T[i] (subsets may overlap);
+//   * R[i] = V - T[i] is divided into k_R = ⌈|R[i]|/αR⌉ subsets of size
+//     min(αR, |R[i]|) whose union is R[i];
+//   * the constructed schedule gets the k_T * k_R cross-product slots
+//     (T_a, R_b), with receiver sets padded up to αR from V - T_a when
+//     |R[i]| < αR (line 8 of Figure 2).
+//
+// The paper notes the division is not unique and does not affect
+// correctness, frame length, or average throughput (Theorems 6-8). We
+// provide two division policies: the naive contiguous chunking, and the
+// balanced cyclic-window division of §7's closing paragraph, which
+// preserves balanced energy consumption when <T> is balanced.
+#pragma once
+
+#include <cstddef>
+
+#include "core/schedule.hpp"
+
+namespace ttdc::core {
+
+enum class DivisionPolicy {
+  /// Chunks the sorted member list into consecutive windows; the last
+  /// window is completed by wrapping around to the front (overlap lands on
+  /// the lowest-indexed members).
+  kContiguous,
+  /// Cyclic windows with evenly spread start offsets, so every member lands
+  /// in ⌊k·m/|S|⌋ or ⌈k·m/|S|⌉ subsets: the balanced division of §7.
+  kBalanced,
+};
+
+struct ConstructOptions {
+  DivisionPolicy division = DivisionPolicy::kContiguous;
+  /// If true, use exactly alpha_t as the transmitter cap (the αT' variant
+  /// discussed after Theorem 6) instead of the throughput-optimal
+  /// αT* = min(αT, α) from Theorem 4.
+  bool use_alpha_t_verbatim = false;
+};
+
+/// Figure 2, main program: computes αT* per Theorem 4 (unless
+/// use_alpha_t_verbatim) and returns Construct(αT*, αR, <T>).
+///
+/// `non_sleeping` must be a non-sleeping schedule (asserted); it should be
+/// topology-transparent for N_n^D for the output to be (Theorem 6) — that
+/// precondition is the caller's (or the test suite's) to establish.
+/// Requires alpha_t >= 1, alpha_r >= 1, alpha_t + alpha_r <= n, D <= n-1.
+Schedule construct_duty_cycled(const Schedule& non_sleeping, std::size_t degree_bound,
+                               std::size_t alpha_t, std::size_t alpha_r,
+                               const ConstructOptions& options = {});
+
+/// Theorem 7: the exact frame length of the constructed schedule,
+/// Σ_i ⌈|T[i]|/αT*⌉ ⌈(n-|T[i]|)/αR⌉, computed from <T> without running the
+/// construction. `alpha_t_star` is the cap actually used for transmitters.
+std::size_t constructed_frame_length(const Schedule& non_sleeping, std::size_t alpha_t_star,
+                                     std::size_t alpha_r);
+
+/// Theorem 7's closed-form upper bound ⌈M_ax/αT*⌉ ⌈(n-M_in)/αR⌉ L.
+std::size_t constructed_frame_length_bound(const Schedule& non_sleeping,
+                                           std::size_t alpha_t_star, std::size_t alpha_r);
+
+/// Theorem 8: lower bound on Thr_ave(constructed) / Thr*_{αT,αR}:
+///   (r(M_in) |A1| + c |A2|) / (|A1| + c |A2|)
+/// with A1 = { i : |T[i]| < αT* }, A2 = { i : |T[i]| >= αT* },
+/// c = (⌈n/α_m⌉ - 1) / ⌈(n - M_in)/αR⌉, α_m = max(αT*, αR).
+/// Returns 1.0 when M_in >= αT* (the optimality case).
+long double theorem8_ratio_lower_bound(const Schedule& non_sleeping, std::size_t degree_bound,
+                                       std::size_t alpha_t, std::size_t alpha_r);
+
+/// Theorem 9: lower bound on Thr_min(constructed): (L / L̄) · Thr_min(<T>),
+/// given the measured min guaranteed slots of <T> per frame. Returns the
+/// bound as guaranteed-successes-per-constructed-frame divided by L̄, i.e. a
+/// throughput in [0, 1].
+long double theorem9_min_throughput_bound(const Schedule& non_sleeping,
+                                          std::size_t min_guaranteed_slots_of_t,
+                                          std::size_t alpha_t_star, std::size_t alpha_r);
+
+}  // namespace ttdc::core

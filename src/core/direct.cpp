@@ -1,0 +1,117 @@
+#include "core/direct.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/subsets.hpp"
+
+namespace ttdc::core {
+
+namespace {
+
+// One (x, Y) neighborhood with the receivers y_k ∈ Y not yet served.
+struct PairConstraint {
+  std::size_t x;
+  DynamicBitset y;                    // the D-set, bitset over nodes
+  DynamicBitset uncovered_receivers;  // subset of y still needing a slot
+};
+
+// Does the slot (T, R) serve transmissions from c.x under neighborhood c.y?
+bool slot_serves(const PairConstraint& c, const DynamicBitset& t) {
+  return t.test(c.x) && !c.y.intersects(t);
+}
+
+}  // namespace
+
+Schedule greedy_direct_schedule(std::size_t n, std::size_t degree_bound, std::size_t alpha_t,
+                                std::size_t alpha_r, util::Xoshiro256& rng,
+                                const DirectGreedyOptions& options) {
+  if (degree_bound < 1 || degree_bound + 1 > n) {
+    throw std::invalid_argument("greedy_direct_schedule: need 1 <= D <= n - 1");
+  }
+  if (alpha_t < 1 || alpha_r < 1 || alpha_t + alpha_r > n) {
+    throw std::invalid_argument("greedy_direct_schedule: need αT, αR >= 1, αT + αR <= n");
+  }
+
+  // Materialize every (x, Y) constraint.
+  std::vector<PairConstraint> pairs;
+  for (std::size_t x = 0; x < n; ++x) {
+    std::vector<std::size_t> pool;
+    pool.reserve(n - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v != x) pool.push_back(v);
+    }
+    util::for_each_k_subset(pool.size(), degree_bound, [&](std::span<const std::size_t> idx) {
+      PairConstraint c{x, DynamicBitset(n), DynamicBitset(n)};
+      for (std::size_t i : idx) c.y.set(pool[i]);
+      c.uncovered_receivers = c.y;
+      pairs.push_back(std::move(c));
+      return true;
+    });
+  }
+
+  std::vector<std::size_t> open;  // indices of pairs with uncovered receivers
+  open.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) open.push_back(i);
+
+  std::vector<DynamicBitset> out_t;
+  std::vector<DynamicBitset> out_r;
+
+  std::vector<std::size_t> still_open;
+  while (!open.empty()) {
+    if (out_t.size() >= options.max_frame_length) {
+      throw std::runtime_error("greedy_direct_schedule: frame length valve tripped");
+    }
+    DynamicBitset best_t(n), best_r(n);
+    std::size_t best_score = 0;
+    for (std::size_t cand = 0; cand < options.candidates_per_round; ++cand) {
+      // Seed from a random open pair: its transmitter plus its uncovered
+      // receivers guarantee at least one new unit of coverage.
+      const PairConstraint& seed = pairs[open[rng.below(open.size())]];
+      DynamicBitset t(n), r(n);
+      t.set(seed.x);
+      seed.uncovered_receivers.for_each([&](std::size_t yk) {
+        if (r.count() < alpha_r) r.set(yk);
+      });
+      // Pad with transmitters/receivers from other open pairs; a padding
+      // transmitter must avoid the seed's Y (or it kills the seed) and the
+      // receiver set.
+      for (int tries = 0; tries < 8 && t.count() < alpha_t; ++tries) {
+        const PairConstraint& other = pairs[open[rng.below(open.size())]];
+        if (other.x != seed.x && !seed.y.test(other.x) && !r.test(other.x) &&
+            !other.y.test(seed.x) && !other.y.intersects(t)) {
+          t.set(other.x);
+          other.uncovered_receivers.for_each([&](std::size_t yk) {
+            if (r.count() < alpha_r && !t.test(yk)) r.set(yk);
+          });
+        }
+      }
+      // Score: newly covered (pair, receiver) units.
+      std::size_t score = 0;
+      for (std::size_t idx : open) {
+        const PairConstraint& c = pairs[idx];
+        if (slot_serves(c, t)) score += c.uncovered_receivers.intersection_count(r);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best_t = std::move(t);
+        best_r = std::move(r);
+      }
+    }
+    // Seeded candidates always cover their seed, so best_score >= 1.
+    // Apply the slot and shrink the open list.
+    still_open.clear();
+    for (std::size_t idx : open) {
+      PairConstraint& c = pairs[idx];
+      if (slot_serves(c, best_t)) c.uncovered_receivers.subtract(best_r);
+      if (c.uncovered_receivers.any()) still_open.push_back(idx);
+    }
+    open.swap(still_open);
+    out_t.push_back(std::move(best_t));
+    out_r.push_back(std::move(best_r));
+  }
+  return Schedule(n, std::move(out_t), std::move(out_r));
+}
+
+}  // namespace ttdc::core

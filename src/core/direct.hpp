@@ -1,0 +1,50 @@
+// Direct construction of topology-transparent (αT, αR)-schedules, the
+// comparison point for the paper's two-step approach.
+//
+// The paper (§6) converts an existing topology-transparent non-sleeping
+// schedule; the alternative it discusses (Dukes-Colbourn-Syrotiuk, FAWN'06)
+// is to construct the duty-cycled schedule directly from the combinatorial
+// requirement. This module implements a direct randomized-greedy cover:
+// Requirement 3 is a covering problem over constraint triples
+//
+//     (x, Y, y_k):  some slot must have  x ∈ T,  Y ∩ T = ∅,  y_k ∈ R,
+//
+// for every node x, D-set Y ⊆ V - {x}, and y_k ∈ Y. Slots are added one at
+// a time: each round seeds candidate slots from uncovered triples, pads
+// them greedily up to the (αT, αR) caps, scores each candidate by newly
+// covered triples, and keeps the best. Guaranteed to terminate (every
+// seeded candidate covers its seed) and correct by construction; frame
+// length is whatever greed achieves -- which is exactly what the benchmark
+// compares against the paper's Construct().
+//
+// Cost: the constraint set has n * C(n-1, D) * D triples, so this is a
+// small-n tool (the benchmark uses n <= ~20 at D <= 3) -- itself a finding:
+// the paper's conversion scales; direct covering does not.
+#pragma once
+
+#include <cstddef>
+
+#include "core/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::core {
+
+struct DirectGreedyOptions {
+  /// Candidate slots scored per round; higher = shorter frames, slower.
+  std::size_t candidates_per_round = 24;
+  /// Safety valve on the frame length (throws std::runtime_error if
+  /// exceeded, which cannot happen with candidates seeded from uncovered
+  /// triples unless the parameters are infeasible).
+  std::size_t max_frame_length = 100000;
+};
+
+/// Builds a topology-transparent (αT, αR)-schedule for N_n^D directly.
+/// Requires 1 <= D <= n - 2 (a triple needs x, Y and room for receivers)
+/// and alpha_t >= 1, alpha_r >= 1, alpha_t + alpha_r <= n.
+/// The result satisfies Requirement 3 by construction; the test suite
+/// re-verifies with the exact checker.
+Schedule greedy_direct_schedule(std::size_t n, std::size_t degree_bound, std::size_t alpha_t,
+                                std::size_t alpha_r, util::Xoshiro256& rng,
+                                const DirectGreedyOptions& options = {});
+
+}  // namespace ttdc::core

@@ -1,0 +1,46 @@
+// Energy-balance metrics for schedules (§7, closing paragraph).
+//
+// The paper's balanced-energy property: (1) the same number of nodes is
+// active in every slot, and (2) every node is active in the same fraction
+// of slots. These reports quantify how close a schedule comes, so the
+// balanced division policy can be compared against the naive one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace ttdc::core {
+
+struct BalanceReport {
+  // Active nodes per slot (|T[i]| + |R[i]|).
+  std::size_t min_active_per_slot = 0;
+  std::size_t max_active_per_slot = 0;
+  // Active slots per node (|tran(x)| + |recv(x)|).
+  std::size_t min_active_per_node = 0;
+  std::size_t max_active_per_node = 0;
+  double node_duty_stddev = 0.0;  // stddev of per-node duty cycles
+
+  /// Property (1) of §7: every slot activates the same number of nodes.
+  [[nodiscard]] bool slots_balanced() const {
+    return min_active_per_slot == max_active_per_slot;
+  }
+  /// Property (2) of §7: every node is active in the same number of slots.
+  [[nodiscard]] bool nodes_balanced() const {
+    return min_active_per_node == max_active_per_node;
+  }
+};
+
+BalanceReport balance_report(const Schedule& schedule);
+
+/// Per-node count of sleep -> active boundaries per frame, viewed
+/// circularly (slot 0 follows slot L-1 in steady state). Each boundary
+/// costs a radio wakeup; at equal duty cycle a schedule with clustered
+/// active slots is strictly cheaper than one with scattered slots.
+std::vector<std::size_t> per_node_wake_transitions(const Schedule& schedule);
+
+/// Sum of per_node_wake_transitions over all nodes.
+std::size_t total_wake_transitions(const Schedule& schedule);
+
+}  // namespace ttdc::core

@@ -1,0 +1,43 @@
+// Worst-case packet latency bounds (the abstract's "bounding packet latency
+// in the presence of collisions").
+//
+// A topology-transparent schedule guarantees each link at least one
+// collision-free slot per frame, so a head-of-line packet waits at most the
+// largest circular gap between consecutive guaranteed slots of its link.
+// This module computes that bound exactly: per (x, y, S) the guaranteed
+// slot set T(x, y, S) recurs with period L, and the worst arrival time sits
+// just after a guaranteed slot, waiting max_circular_gap(T(x,y,S)) slots.
+// The network-wide single-hop bound maximizes over links and adversarial
+// neighborhoods; a multi-hop bound chains it along a path.
+#pragma once
+
+#include <cstddef>
+
+#include "core/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::core {
+
+/// Largest circular gap (in slots) between consecutive members of `slots`
+/// viewed on the ring [0, slots.size()): for a packet arriving at the worst
+/// moment, the slots it must wait. Returns 0 for an empty set (no service
+/// ever -- callers must handle) and the full period for a singleton.
+std::size_t max_circular_gap(const DynamicBitset& slots);
+
+/// Exact single-hop worst-case latency over all (x, y, S) with |S| = D-1:
+/// max over links of max_circular_gap(T(x, y, S)). Returns SIZE_MAX if some
+/// link has NO guaranteed slot (schedule not topology-transparent).
+/// Cost ~ n^2 C(n-2, D-1), like the min-throughput oracle.
+std::size_t worst_case_latency_exact(const Schedule& schedule, std::size_t degree_bound);
+
+/// Sampled variant (random (x, y, S) probes): a LOWER bound on the true
+/// worst case; SIZE_MAX if a probed link has no guaranteed slot.
+std::size_t worst_case_latency_sampled(const Schedule& schedule, std::size_t degree_bound,
+                                       std::size_t trials, util::Xoshiro256& rng);
+
+/// Multi-hop chain bound: a packet crossing `hops` links waits at most
+/// hops * (single-hop bound) + hops slots (one service slot per hop).
+/// Saturates at SIZE_MAX when the single-hop bound is SIZE_MAX.
+std::size_t multi_hop_latency_bound(std::size_t single_hop_bound, std::size_t hops);
+
+}  // namespace ttdc::core

@@ -1,0 +1,86 @@
+// Topology-transparency requirement checkers (paper §4).
+//
+// Requirement 1 [Colbourn-Ling-Syrotiuk 04]: a non-sleeping schedule <T> is
+// topology-transparent for N_n^D iff freeSlots(x, Y) != ∅ for every node x
+// and every D-set Y ⊆ V_n - {x}.
+//
+// Requirement 2 [Dukes-Colbourn-Syrotiuk 06]: for all x != y and every set
+// {y_1..y_d} of d <= D-1 other nodes, ∪_i σ(y_i, y) does not contain σ(x, y).
+//
+// Requirement 3 (the paper's reformulation): for every x and D-set Y,
+//   (1) freeSlots(x, Y) != ∅, and
+//   (2) recv(y_k) ∩ freeSlots(x, Y) != ∅ for every y_k ∈ Y.
+// Theorem 1 proves Requirement 2 ⟺ Requirement 3; the test suite
+// cross-validates the two checkers on random schedules.
+//
+// Each requirement has an exact checker (full enumeration with prefix-union
+// pruning, parallel over x — a proof) and a sampled checker (Monte-Carlo —
+// a refutation search for instances too large to enumerate).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::core {
+
+/// A witness that a schedule is NOT topology-transparent for N_n^D: node
+/// x cannot be guaranteed to reach receiver y when y's neighborhood within
+/// the witness set is as listed. For Requirement-1 violations (no free slot
+/// at all) `receiver` is npos and `neighborhood` is the covering Y.
+struct TransparencyViolation {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t transmitter = npos;
+  std::size_t receiver = npos;
+  std::vector<std::size_t> neighborhood;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Exact Requirement 1 check of the non-sleeping reduct <T> (only tran() is
+/// consulted). Returns a violation or nullopt (= proof it holds).
+/// Requires D <= num_nodes - 1.
+std::optional<TransparencyViolation> check_requirement1_exact(const Schedule& schedule,
+                                                              std::size_t degree_bound);
+
+/// Exact Requirement 2 check, implemented literally from the definition
+/// (σ-set covering over all (x, y) pairs and (D-1)-subsets). Slower than
+/// Requirement 3; exists as the independent oracle for Theorem 1.
+std::optional<TransparencyViolation> check_requirement2_exact(const Schedule& schedule,
+                                                              std::size_t degree_bound);
+
+/// Exact Requirement 3 check (conditions (1) and (2)); the production
+/// checker. nullopt = the schedule is topology-transparent for N_n^D.
+std::optional<TransparencyViolation> check_requirement3_exact(const Schedule& schedule,
+                                                              std::size_t degree_bound);
+
+/// Monte-Carlo Requirement 3 check: `trials` random (x, Y) pairs. A returned
+/// violation is real; nullopt is NOT a proof.
+std::optional<TransparencyViolation> check_requirement3_sampled(const Schedule& schedule,
+                                                                std::size_t degree_bound,
+                                                                std::size_t trials,
+                                                                util::Xoshiro256& rng);
+
+/// Convenience: true iff check_requirement3_exact returns nullopt.
+bool is_topology_transparent(const Schedule& schedule, std::size_t degree_bound);
+
+/// Cheap sufficient certificate for Requirement 1 on the non-sleeping
+/// reduct <T>: with w = min_x |tran(x)| and λ = max pairwise
+/// |tran(x) ∩ tran(y)|, the schedule satisfies Requirement 1 for every
+/// D <= (w - 1) / λ (D covering sets erase at most Dλ < w slots).
+/// Returns that degree (num_nodes - 1 when λ == 0; 0 when some tran(x) is
+/// empty). Cost O(n^2 L / 64) -- no combinatorial enumeration.
+/// NOTE: certifies condition (1) only; the exact Requirement 3 checker is
+/// still needed for duty-cycled receiver sets.
+std::size_t requirement1_certificate_degree(const Schedule& schedule);
+
+/// Largest D in [1, max_degree] for which the schedule satisfies
+/// Requirement 3 exactly, or 0 if none. Requirement 3 is monotone in D
+/// (any (D-1)-set extends to a D-set with smaller free-slot sets), so this
+/// scans upward and stops at the first failure.
+std::size_t max_transparent_degree_exact(const Schedule& schedule, std::size_t max_degree);
+
+}  // namespace ttdc::core

@@ -1,0 +1,133 @@
+#include "core/serialize.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ttdc::core {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("schedule parse error at line " + std::to_string(line) + ": " +
+                              what);
+}
+
+void write_set(std::ostream& out, const DynamicBitset& set) {
+  if (set.none()) {
+    out << " -";
+    return;
+  }
+  set.for_each([&](std::size_t v) { out << ' ' << v; });
+}
+
+}  // namespace
+
+void write_schedule(std::ostream& out, const Schedule& schedule) {
+  out << "ttdc-schedule v1\n";
+  out << "nodes " << schedule.num_nodes() << '\n';
+  out << "slots " << schedule.frame_length() << '\n';
+  for (std::size_t i = 0; i < schedule.frame_length(); ++i) {
+    out << "slot " << i << " T";
+    write_set(out, schedule.transmitters(i));
+    out << " R";
+    write_set(out, schedule.receivers(i));
+    out << '\n';
+  }
+}
+
+std::string schedule_to_text(const Schedule& schedule) {
+  std::ostringstream os;
+  write_schedule(os, schedule);
+  return os.str();
+}
+
+Schedule read_schedule(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      // Strip comments and skip blank lines.
+      if (const auto hash = line.find('#'); hash != std::string::npos) {
+        line.resize(hash);
+      }
+      if (line.find_first_not_of(" \t\r") != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  if (!next_line()) fail(line_no, "empty input");
+  {
+    std::istringstream ls(line);
+    std::string magic, version;
+    ls >> magic >> version;
+    if (magic != "ttdc-schedule" || version != "v1") fail(line_no, "bad header");
+  }
+  std::size_t n = 0, slots = 0;
+  {
+    if (!next_line()) fail(line_no, "missing 'nodes'");
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key >> n) || key != "nodes" || n == 0) fail(line_no, "bad 'nodes' line");
+  }
+  {
+    if (!next_line()) fail(line_no, "missing 'slots'");
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key >> slots) || key != "slots" || slots == 0) fail(line_no, "bad 'slots' line");
+  }
+  std::vector<DynamicBitset> transmit(slots, DynamicBitset(n));
+  std::vector<DynamicBitset> receive(slots, DynamicBitset(n));
+  std::vector<bool> seen(slots, false);
+  for (std::size_t count = 0; count < slots; ++count) {
+    if (!next_line()) fail(line_no, "missing slot line");
+    std::istringstream ls(line);
+    std::string key;
+    std::size_t index;
+    if (!(ls >> key >> index) || key != "slot") fail(line_no, "expected 'slot <i> ...'");
+    if (index >= slots) fail(line_no, "slot index out of range");
+    if (seen[index]) fail(line_no, "duplicate slot index");
+    seen[index] = true;
+    std::string marker;
+    if (!(ls >> marker) || marker != "T") fail(line_no, "expected 'T'");
+    // Read node ids until the 'R' marker.
+    std::string token;
+    bool saw_r = false;
+    while (ls >> token) {
+      if (token == "R") {
+        saw_r = true;
+        break;
+      }
+      if (token == "-") continue;
+      std::size_t v = 0;
+      try {
+        v = std::stoull(token);
+      } catch (const std::exception&) {
+        fail(line_no, "bad transmitter id '" + token + "'");
+      }
+      if (v >= n) fail(line_no, "transmitter id out of range");
+      transmit[index].set(v);
+    }
+    if (!saw_r) fail(line_no, "missing 'R'");
+    while (ls >> token) {
+      if (token == "-") continue;
+      std::size_t v = 0;
+      try {
+        v = std::stoull(token);
+      } catch (const std::exception&) {
+        fail(line_no, "bad receiver id '" + token + "'");
+      }
+      if (v >= n) fail(line_no, "receiver id out of range");
+      if (transmit[index].test(v)) fail(line_no, "node in both T and R");
+      receive[index].set(v);
+    }
+  }
+  return Schedule(n, std::move(transmit), std::move(receive));
+}
+
+Schedule schedule_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_schedule(is);
+}
+
+}  // namespace ttdc::core

@@ -1,0 +1,34 @@
+// Schedule serialization: a stable, human-auditable text format so
+// schedules can be generated offline and flashed to nodes / checked into a
+// deployment repo.
+//
+// Format (line oriented, '#' comments allowed):
+//   ttdc-schedule v1
+//   nodes <n>
+//   slots <L>
+//   slot <i> T <space-separated node ids> R <space-separated node ids>
+//   (exactly L slot lines, in order; empty sets are written as '-')
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace ttdc::core {
+
+/// Writes the schedule in the v1 text format.
+void write_schedule(std::ostream& out, const Schedule& schedule);
+
+/// Renders the v1 text format to a string.
+std::string schedule_to_text(const Schedule& schedule);
+
+/// Parses the v1 text format; throws std::invalid_argument with a
+/// line-numbered message on malformed input (wrong header, out-of-range
+/// node ids, missing/duplicate slot lines, T/R overlap).
+Schedule read_schedule(std::istream& in);
+
+/// Parses from a string.
+Schedule schedule_from_text(const std::string& text);
+
+}  // namespace ttdc::core

@@ -1,0 +1,115 @@
+// Worst-case throughput analysis (paper §5 and §7).
+//
+// All quantities are for the network class N_n^D in the worst case: every
+// node has exactly D neighbors, all of them saturated.
+//
+//   * Definition 1: minimum worst-case throughput
+//       Thr_min = min_{x,y,S} |T(x,y,S)| / L over |S| = D-1.
+//   * Definition 2: average worst-case throughput
+//       Thr_ave = F / (n (n-1) C(n-2, D-1) L),
+//       F = Σ_{x,y} Σ_{S} |T(x,y,S)|.
+//   * Theorem 2 (closed form):
+//       Thr_ave = Σ_i |T[i]| |R[i]| C(n-|T[i]|-1, D-1) / (n (n-1) C(n-2,D-1) L).
+//   * Theorem 3: upper bound for general schedules, maximized at
+//       |T[i]| = αT* ∈ {⌊(n-D)/(D+1)⌋, ⌈(n-D)/(D+1)⌉}, |R[i]| = n - αT*.
+//   * Theorem 4: upper bound for (αT, αR)-schedules, maximized at
+//       |T[i]| = min(αT, α), α ∈ {⌊(n-D)/D⌋, ⌈(n-D)/D⌉}, |R[i]| = αR.
+//   * §7: r(x) optimality ratio, Theorem 8 lower bound, Theorem 9 minimum
+//     throughput bound.
+//
+// Exact evaluators return an ExactFraction (128-bit numerator/denominator)
+// so tests can assert equality with the brute-force oracles; the long-double
+// paths are for large-n sweeps.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "util/binomial.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::core {
+
+/// Unreduced non-negative rational with 128-bit parts.
+struct ExactFraction {
+  util::u128 num = 0;
+  util::u128 den = 1;
+
+  [[nodiscard]] long double value() const {
+    return static_cast<long double>(num) / static_cast<long double>(den);
+  }
+  /// Cross-multiplication equality (no reduction needed); throws
+  /// CountingOverflow if the cross products exceed 128 bits.
+  [[nodiscard]] bool equals(const ExactFraction& other) const;
+};
+
+/// g_{n,D}(x) = x C(n-x, D) / (n C(n-1, D)): the average worst-case
+/// throughput of a non-sleeping schedule with x transmitters per slot
+/// (§5, properties (1) and (2)).
+long double g_value(std::size_t n, std::size_t degree_bound, std::size_t x);
+
+/// argmax of g_{n,D} over integer x, resolved exactly (compares
+/// x C(n-x, D) as integers). Equals ⌊(n-D)/(D+1)⌋ or ⌈(n-D)/(D+1)⌉.
+std::size_t g_argmax(std::size_t n, std::size_t degree_bound);
+
+/// Theorem 2: Thr_ave of `schedule` in N_n^D, exact. n is taken from the
+/// schedule; requires D <= n - 1.
+ExactFraction average_throughput_exact(const Schedule& schedule, std::size_t degree_bound);
+
+/// Theorem 2 in long-double log space (for n beyond 128-bit counting).
+long double average_throughput(const Schedule& schedule, std::size_t degree_bound);
+
+/// Brute-force Definition 2: enumerates every ordered pair (x, y) and every
+/// (D-1)-subset S of V-{x,y}, summing |T(x,y,S)|. The oracle Theorem 2 is
+/// tested against; cost n^2 C(n-2, D-1) bitset folds.
+ExactFraction average_throughput_bruteforce(const Schedule& schedule,
+                                            std::size_t degree_bound);
+
+/// Theorem 3: the optimal per-slot transmitter count αT* for general
+/// schedules (floor/ceil of (n-D)/(D+1), broken exactly).
+std::size_t optimal_transmitters_general(std::size_t n, std::size_t degree_bound);
+
+/// Theorem 3: Thr* = αT* C(n-αT*, D) / (n C(n-1, D)), the maximum average
+/// worst-case throughput of any schedule in N_n^D.
+long double throughput_upper_bound_general(std::size_t n, std::size_t degree_bound);
+
+/// Theorem 3's loose closed form n D^D / ((n-D) (D+1)^(D+1)).
+long double throughput_upper_bound_general_loose(std::size_t n, std::size_t degree_bound);
+
+/// Theorem 4: α = argmax of x C(n-x-1, D-1) over x (floor/ceil of (n-D)/D,
+/// broken exactly); αT* = min(αT, α).
+std::size_t optimal_transmitters_alpha(std::size_t n, std::size_t degree_bound);
+std::size_t optimal_transmitters_alpha(std::size_t n, std::size_t degree_bound,
+                                       std::size_t alpha_t);
+
+/// Theorem 4: Thr*_{αR,αT} = αR αT* C(n-αT*-1, D-1) / (n (n-1) C(n-2, D-1)).
+long double throughput_upper_bound_alpha(std::size_t n, std::size_t degree_bound,
+                                         std::size_t alpha_t, std::size_t alpha_r);
+
+/// Theorem 4's loose closed form αR (n-1) (D-1)^(D-1) / (n (n-D) D^D).
+long double throughput_upper_bound_alpha_loose(std::size_t n, std::size_t degree_bound,
+                                               std::size_t alpha_r);
+
+/// §7: r(x) = (x/αT*) Π_{i=1}^{D-1} (n-i-x)/(n-i-αT*), the per-slot
+/// throughput ratio relative to the optimum; αT* from Theorem 4.
+long double optimality_ratio_r(std::size_t n, std::size_t degree_bound, std::size_t alpha_t,
+                               std::size_t x);
+
+/// Exact Definition 1: minimum worst-case throughput, by enumerating every
+/// ordered (x, y) and adversarial S with |S| = D-1 (prefix-union recursion
+/// with pruning; parallel over x). Returns min |T(x,y,S)| (divide by L for
+/// the throughput). Cost ~ n^2 C(n-2, D-1).
+std::size_t min_guaranteed_slots_exact(const Schedule& schedule, std::size_t degree_bound);
+
+/// Greedy adversary: for each (x, y) picks S greedily to erase x's
+/// guaranteed slots. Returns an UPPER bound on min |T(x,y,S)| (the true
+/// minimum can only be smaller). Cheap: n^2 D scans.
+std::size_t min_guaranteed_slots_greedy(const Schedule& schedule, std::size_t degree_bound);
+
+/// Monte-Carlo min: samples random (x, y, S); upper bound like the greedy.
+std::size_t min_guaranteed_slots_sampled(const Schedule& schedule, std::size_t degree_bound,
+                                         std::size_t trials, util::Xoshiro256& rng);
+
+}  // namespace ttdc::core

@@ -1,0 +1,122 @@
+#include "core/tradeoff.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/construct.hpp"
+#include "core/throughput.hpp"
+
+namespace ttdc::core {
+
+std::string TradeoffPoint::to_string() const {
+  std::ostringstream os;
+  os << "(aT=" << alpha_t << ", aR=" << alpha_r << ") duty=" << duty_cycle
+     << " L=" << frame_length << " thr<=" << avg_throughput_bound
+     << " ratio>=" << ratio_lower_bound;
+  return os.str();
+}
+
+TradeoffPoint evaluate_tradeoff(const Schedule& non_sleeping, std::size_t degree_bound,
+                                std::size_t alpha_t, std::size_t alpha_r) {
+  const std::size_t n = non_sleeping.num_nodes();
+  if (!non_sleeping.is_non_sleeping()) {
+    throw std::invalid_argument("evaluate_tradeoff: base must be non-sleeping");
+  }
+  if (alpha_t < 1 || alpha_r < 1 || alpha_t + alpha_r > n) {
+    throw std::invalid_argument("evaluate_tradeoff: need αT, αR >= 1, αT + αR <= n");
+  }
+  TradeoffPoint p;
+  p.alpha_t = alpha_t;
+  p.alpha_r = alpha_r;
+  p.alpha_t_star = optimal_transmitters_alpha(n, degree_bound, alpha_t);
+  p.frame_length = constructed_frame_length(non_sleeping, p.alpha_t_star, alpha_r);
+  p.latency_bound = p.frame_length;
+  p.avg_throughput_bound = static_cast<double>(
+      throughput_upper_bound_alpha(n, degree_bound, alpha_t, alpha_r));
+  p.ratio_lower_bound = static_cast<double>(
+      theorem8_ratio_lower_bound(non_sleeping, degree_bound, alpha_t, alpha_r));
+
+  // Exact duty cycle of the constructed schedule without building it:
+  // every constructed slot wakes |T̄| + αR nodes where |T̄| is
+  // min(αT*, |T[i]|) for its base slot; weight by the per-base-slot
+  // sub-slot counts of Theorem 7.
+  double active_slots = 0.0;
+  for (std::size_t i = 0; i < non_sleeping.frame_length(); ++i) {
+    const std::size_t t = non_sleeping.transmit_sizes()[i];
+    const std::size_t r = n - t;
+    const std::size_t kt = t == 0 ? 0 : (t + p.alpha_t_star - 1) / p.alpha_t_star;
+    const std::size_t kr = r == 0 ? 0 : (r + alpha_r - 1) / alpha_r;
+    const std::size_t tbar = std::min(p.alpha_t_star, t);
+    active_slots += static_cast<double>(kt * kr) * static_cast<double>(tbar + alpha_r);
+  }
+  p.duty_cycle = active_slots /
+                 (static_cast<double>(p.frame_length) * static_cast<double>(n));
+  return p;
+}
+
+std::vector<TradeoffPoint> enumerate_tradeoffs(const Schedule& non_sleeping,
+                                               std::size_t degree_bound,
+                                               std::size_t max_alpha_t,
+                                               std::size_t max_alpha_r) {
+  const std::size_t n = non_sleeping.num_nodes();
+  if (max_alpha_t == 0) max_alpha_t = n - 1;
+  if (max_alpha_r == 0) max_alpha_r = n - 1;
+  std::vector<TradeoffPoint> points;
+  for (std::size_t at = 1; at <= max_alpha_t; ++at) {
+    for (std::size_t ar = 1; ar <= max_alpha_r && at + ar <= n; ++ar) {
+      points.push_back(evaluate_tradeoff(non_sleeping, degree_bound, at, ar));
+    }
+  }
+  return points;
+}
+
+namespace {
+
+// a weakly dominates b on (duty ↓, throughput ↑, latency ↓).
+bool dominates(const TradeoffPoint& a, const TradeoffPoint& b) {
+  const bool no_worse = a.duty_cycle <= b.duty_cycle &&
+                        a.avg_throughput_bound >= b.avg_throughput_bound &&
+                        a.latency_bound <= b.latency_bound;
+  const bool strictly_better = a.duty_cycle < b.duty_cycle ||
+                               a.avg_throughput_bound > b.avg_throughput_bound ||
+                               a.latency_bound < b.latency_bound;
+  return no_worse && strictly_better;
+}
+
+}  // namespace
+
+std::vector<TradeoffPoint> pareto_front(std::vector<TradeoffPoint> points) {
+  std::vector<TradeoffPoint> front;
+  for (const auto& candidate : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      if (dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(), [](const TradeoffPoint& a, const TradeoffPoint& b) {
+    if (a.duty_cycle != b.duty_cycle) return a.duty_cycle < b.duty_cycle;
+    return a.avg_throughput_bound > b.avg_throughput_bound;
+  });
+  return front;
+}
+
+bool pick_cheapest(const std::vector<TradeoffPoint>& front, std::size_t max_latency_slots,
+                   double min_avg_throughput, TradeoffPoint& out) {
+  bool found = false;
+  for (const auto& p : front) {
+    if (p.latency_bound > max_latency_slots) continue;
+    if (p.avg_throughput_bound < min_avg_throughput) continue;
+    if (!found || p.duty_cycle < out.duty_cycle) {
+      out = p;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace ttdc::core

@@ -1,0 +1,58 @@
+// The deployment planner: sweeping (αT, αR) and exposing the
+// energy / throughput / latency trade-off surface of the construction.
+//
+// The paper fixes (αT, αR) as given application requirements; a deployer
+// has to pick them. For a fixed topology-transparent base <T> and degree
+// bound D, every candidate (αT, αR) yields -- via Theorems 4, 7, 8 --
+// an analytic duty cycle, frame length, throughput bound, and worst-case
+// latency proxy, WITHOUT running Construct(). This module enumerates the
+// grid, evaluates those closed forms, and extracts the Pareto-efficient
+// frontier (duty cycle down, throughput up, latency down).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace ttdc::core {
+
+struct TradeoffPoint {
+  std::size_t alpha_t = 0;
+  std::size_t alpha_r = 0;
+  std::size_t alpha_t_star = 0;      // the cap Construct() will actually use
+  std::size_t frame_length = 0;      // Theorem 7 (exact, from <T>'s profile)
+  double duty_cycle = 0.0;           // (αT* + αR) / n per constructed slot, exact
+  double avg_throughput_bound = 0.0; // Theorem 4 upper bound
+  double ratio_lower_bound = 0.0;    // Theorem 8 lower bound on achieved/best
+  // Worst-case single-hop latency proxy: the constructed frame length
+  // (every link is guaranteed a slot per frame).
+  std::size_t latency_bound = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Evaluates one candidate pair against base <T> (must be non-sleeping).
+TradeoffPoint evaluate_tradeoff(const Schedule& non_sleeping, std::size_t degree_bound,
+                                std::size_t alpha_t, std::size_t alpha_r);
+
+/// Full grid over 1 <= αT <= max_alpha_t, 1 <= αR <= max_alpha_r with
+/// αT + αR <= n. Zero maxima default to n - 1.
+std::vector<TradeoffPoint> enumerate_tradeoffs(const Schedule& non_sleeping,
+                                               std::size_t degree_bound,
+                                               std::size_t max_alpha_t = 0,
+                                               std::size_t max_alpha_r = 0);
+
+/// Pareto-efficient subset under (duty_cycle ↓, avg_throughput_bound ↑,
+/// latency_bound ↓): points no other point weakly dominates in all three
+/// and strictly in one. Sorted by duty cycle ascending.
+std::vector<TradeoffPoint> pareto_front(std::vector<TradeoffPoint> points);
+
+/// Cheapest (lowest duty cycle) Pareto point whose latency bound and
+/// throughput bound meet the given requirements; nullopt-like: returns
+/// false if no point qualifies.
+bool pick_cheapest(const std::vector<TradeoffPoint>& front, std::size_t max_latency_slots,
+                   double min_avg_throughput, TradeoffPoint& out);
+
+}  // namespace ttdc::core

@@ -1,0 +1,269 @@
+#include "gf/field.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ttdc::gf {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+u64 mulmod(u64 a, u64 b, u64 m) { return static_cast<u64>(static_cast<u128>(a) * b % m); }
+
+u64 powmod(u64 a, u64 e, u64 m) {
+  u64 r = 1 % m;
+  a %= m;
+  while (e != 0) {
+    if (e & 1) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+// Integer m-th root by binary search: largest r with r^m <= q.
+u64 iroot(u64 q, std::uint32_t m) {
+  if (m == 1) return q;
+  u64 lo = 1, hi = static_cast<u64>(std::pow(static_cast<double>(q), 1.0 / m)) + 2;
+  while (lo < hi) {
+    const u64 mid = lo + (hi - lo + 1) / 2;
+    u128 v = 1;
+    bool over = false;
+    for (std::uint32_t i = 0; i < m && !over; ++i) {
+      v *= mid;
+      if (v > q) over = true;
+    }
+    if (over) {
+      hi = mid - 1;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+constexpr std::uint32_t kExtensionCap = 1024;  // table size cap for GF(p^m), m > 1
+
+// Multiplies two polynomials over GF(p); coefficients constant-term-first.
+std::vector<std::uint32_t> poly_mul(std::span<const std::uint32_t> a,
+                                    std::span<const std::uint32_t> b, std::uint32_t p) {
+  std::vector<std::uint32_t> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = static_cast<std::uint32_t>(
+          (out[i + j] + static_cast<u64>(a[i]) * b[j]) % p);
+    }
+  }
+  return out;
+}
+
+// Encodes a monic degree-d polynomial (without its leading 1) as an index:
+// the d lower coefficients as base-p digits.
+u64 encode_lower(std::span<const std::uint32_t> coeffs, std::uint32_t d, std::uint32_t p) {
+  u64 v = 0;
+  for (std::uint32_t i = d; i-- > 0;) v = v * p + coeffs[i];
+  return v;
+}
+
+std::vector<std::uint32_t> decode_monic(u64 index, std::uint32_t degree, std::uint32_t p) {
+  std::vector<std::uint32_t> coeffs(degree + 1, 0);
+  for (std::uint32_t i = 0; i < degree; ++i) {
+    coeffs[i] = static_cast<std::uint32_t>(index % p);
+    index /= p;
+  }
+  coeffs[degree] = 1;
+  return coeffs;
+}
+
+}  // namespace
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  for (u64 sp : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n == sp) return true;
+    if (n % sp == 0) return false;
+  }
+  u64 d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64.
+  for (u64 a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    u64 x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+u64 next_prime(u64 n) {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!is_prime(n)) n += 2;
+  return n;
+}
+
+std::optional<std::pair<u64, std::uint32_t>> prime_power_decompose(u64 q) {
+  if (q < 2) return std::nullopt;
+  // Try exponents from large to small so we find the maximal m (prime base).
+  for (std::uint32_t m = 63; m >= 1; --m) {
+    const u64 base = iroot(q, m);
+    if (base < 2) continue;
+    u128 v = 1;
+    for (std::uint32_t i = 0; i < m; ++i) v *= base;
+    if (v == q && is_prime(base)) return std::make_pair(base, m);
+    if (m == 1) break;
+  }
+  return std::nullopt;
+}
+
+u64 next_prime_power(u64 n) {
+  if (n <= 2) return 2;
+  for (u64 q = n;; ++q) {
+    if (prime_power_decompose(q)) return q;
+  }
+}
+
+std::vector<std::uint32_t> find_irreducible(std::uint32_t p, std::uint32_t m) {
+  if (m == 1) return {0, 1};  // x itself; unused but well defined
+  // Sieve: mark every monic degree-m polynomial that factors as a product of
+  // two monic polynomials of degree >= 1. Indexed by lower-coefficient digits.
+  u64 qm = 1;
+  for (std::uint32_t i = 0; i < m; ++i) qm *= p;
+  std::vector<bool> reducible(qm, false);
+  for (std::uint32_t da = 1; da <= m / 2; ++da) {
+    const std::uint32_t db = m - da;
+    u64 qa = 1, qb = 1;
+    for (std::uint32_t i = 0; i < da; ++i) qa *= p;
+    for (std::uint32_t i = 0; i < db; ++i) qb *= p;
+    for (u64 ia = 0; ia < qa; ++ia) {
+      const auto fa = decode_monic(ia, da, p);
+      for (u64 ib = 0; ib < qb; ++ib) {
+        const auto fb = decode_monic(ib, db, p);
+        const auto prod = poly_mul(fa, fb, p);
+        assert(prod.size() == m + 1 && prod[m] == 1);
+        reducible[encode_lower(prod, m, p)] = true;
+      }
+    }
+  }
+  for (u64 i = 0; i < qm; ++i) {
+    if (!reducible[i]) return decode_monic(i, m, p);
+  }
+  throw std::logic_error("no irreducible polynomial found (impossible for prime p)");
+}
+
+GaloisField::GaloisField(std::uint32_t q) : q_(q) {
+  const auto pp = prime_power_decompose(q);
+  if (!pp) throw std::invalid_argument("GaloisField: q must be a prime power");
+  p_ = static_cast<std::uint32_t>(pp->first);
+  m_ = pp->second;
+  if (m_ > 1) {
+    if (q_ > kExtensionCap) {
+      throw std::invalid_argument("GaloisField: extension fields capped at q <= 1024");
+    }
+    irreducible_ = find_irreducible(p_, m_);
+    build_extension_tables();
+  }
+}
+
+void GaloisField::build_extension_tables() {
+  const std::size_t n = static_cast<std::size_t>(q_) * q_;
+  add_table_.assign(n, 0);
+  mul_table_.assign(n, 0);
+  neg_table_.assign(q_, 0);
+  inv_table_.assign(q_, 0);
+
+  auto digits = [&](std::uint32_t v) {
+    std::vector<std::uint32_t> d(m_, 0);
+    for (std::uint32_t i = 0; i < m_; ++i) {
+      d[i] = v % p_;
+      v /= p_;
+    }
+    return d;
+  };
+  auto pack = [&](std::span<const std::uint32_t> d) {
+    std::uint32_t v = 0;
+    for (std::uint32_t i = m_; i-- > 0;) v = v * p_ + (i < d.size() ? d[i] : 0);
+    return v;
+  };
+
+  for (std::uint32_t a = 0; a < q_; ++a) {
+    const auto da = digits(a);
+    // Negation: digitwise.
+    std::vector<std::uint32_t> dn(m_);
+    for (std::uint32_t i = 0; i < m_; ++i) dn[i] = da[i] == 0 ? 0 : p_ - da[i];
+    neg_table_[a] = pack(dn);
+    for (std::uint32_t b = 0; b < q_; ++b) {
+      const auto db = digits(b);
+      std::vector<std::uint32_t> ds(m_);
+      for (std::uint32_t i = 0; i < m_; ++i) ds[i] = (da[i] + db[i]) % p_;
+      add_table_[idx(a, b)] = pack(ds);
+
+      // Product modulo the irreducible polynomial.
+      auto prod = poly_mul(da, db, p_);
+      for (std::size_t deg = prod.size(); deg-- > m_;) {
+        const std::uint32_t lead = prod[deg];
+        if (lead == 0) continue;
+        prod[deg] = 0;
+        // x^deg == -(irr[0..m-1]) * x^(deg-m) since irr is monic.
+        for (std::uint32_t i = 0; i < m_; ++i) {
+          const u64 sub = static_cast<u64>(lead) * irreducible_[i] % p_;
+          prod[deg - m_ + i] =
+              static_cast<std::uint32_t>((prod[deg - m_ + i] + p_ - sub) % p_);
+        }
+      }
+      mul_table_[idx(a, b)] = pack(prod);
+    }
+  }
+  // Inverses by scanning the multiplication table rows.
+  for (std::uint32_t a = 1; a < q_; ++a) {
+    for (std::uint32_t b = 1; b < q_; ++b) {
+      if (mul_table_[idx(a, b)] == 1) {
+        inv_table_[a] = b;
+        break;
+      }
+    }
+    if (inv_table_[a] == 0) throw std::logic_error("element without inverse: field build bug");
+  }
+}
+
+std::uint32_t GaloisField::inv(std::uint32_t a) const {
+  assert(a != 0 && a < q_);
+  if (m_ == 1) return static_cast<std::uint32_t>(powmod(a, p_ - 2, p_));
+  return inv_table_[a];
+}
+
+std::uint32_t GaloisField::pow(std::uint32_t a, std::uint64_t e) const {
+  std::uint32_t r = 1;
+  while (e != 0) {
+    if (e & 1) r = mul(r, a);
+    a = mul(a, a);
+    e >>= 1;
+  }
+  return r;
+}
+
+std::uint32_t eval_poly(const GaloisField& F, std::span<const std::uint32_t> coeffs,
+                        std::uint32_t x) {
+  std::uint32_t acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = F.add(F.mul(acc, x), coeffs[i]);
+  }
+  return acc;
+}
+
+}  // namespace ttdc::gf

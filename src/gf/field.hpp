@@ -1,0 +1,107 @@
+// Finite (Galois) field arithmetic GF(q) for prime powers q.
+//
+// The topology-transparent schedule constructions cited by the paper
+// (Chlamtac-Faragò 94, Ju-Li 98, Syrotiuk-Colbourn-Ling 03) assign each node
+// a polynomial over GF(q) and schedule it by the polynomial's value table.
+// This module provides GF(p) directly (modular arithmetic, any prime p) and
+// GF(p^m) via tables built from an irreducible polynomial found by sieving.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ttdc::gf {
+
+/// Deterministic Miller-Rabin primality test, exact for all 64-bit inputs.
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n (n >= 2).
+std::uint64_t next_prime(std::uint64_t n);
+
+/// If q = p^m for a prime p and m >= 1, returns {p, m}; otherwise nullopt.
+std::optional<std::pair<std::uint64_t, std::uint32_t>> prime_power_decompose(std::uint64_t q);
+
+/// Smallest prime power >= n (n >= 2).
+std::uint64_t next_prime_power(std::uint64_t n);
+
+/// GF(q), q = p^m. Elements are 0..q-1. For m == 1 the element IS the
+/// residue mod p. For m > 1 an element encodes a degree-<m polynomial over
+/// GF(p) by its base-p digits (value = sum c_i * p^i), and multiplication is
+/// carried out modulo a sieved irreducible polynomial; add/mul/inv are
+/// precomputed tables (extension fields are capped at q <= 1024, far above
+/// anything the schedule constructions need).
+class GaloisField {
+ public:
+  /// Throws std::invalid_argument if q is not a prime power (or an
+  /// extension field larger than the table cap).
+  explicit GaloisField(std::uint32_t q);
+
+  [[nodiscard]] std::uint32_t q() const { return q_; }
+  [[nodiscard]] std::uint32_t p() const { return p_; }
+  [[nodiscard]] std::uint32_t m() const { return m_; }
+  [[nodiscard]] bool is_prime_field() const { return m_ == 1; }
+
+  [[nodiscard]] std::uint32_t add(std::uint32_t a, std::uint32_t b) const {
+    if (m_ == 1) {
+      const std::uint32_t s = a + b;
+      return s >= p_ ? s - p_ : s;
+    }
+    return add_table_[idx(a, b)];
+  }
+
+  [[nodiscard]] std::uint32_t neg(std::uint32_t a) const {
+    if (m_ == 1) return a == 0 ? 0 : p_ - a;
+    return neg_table_[a];
+  }
+
+  [[nodiscard]] std::uint32_t sub(std::uint32_t a, std::uint32_t b) const {
+    return add(a, neg(b));
+  }
+
+  [[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b) const {
+    if (m_ == 1) {
+      return static_cast<std::uint32_t>((static_cast<std::uint64_t>(a) * b) % p_);
+    }
+    return mul_table_[idx(a, b)];
+  }
+
+  /// Multiplicative inverse; precondition a != 0.
+  [[nodiscard]] std::uint32_t inv(std::uint32_t a) const;
+
+  /// a^e by square-and-multiply (0^0 == 1).
+  [[nodiscard]] std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+  /// Coefficients (constant term first) of the irreducible polynomial used
+  /// to build the extension; empty for prime fields.
+  [[nodiscard]] const std::vector<std::uint32_t>& modulus() const { return irreducible_; }
+
+ private:
+  [[nodiscard]] std::size_t idx(std::uint32_t a, std::uint32_t b) const {
+    return static_cast<std::size_t>(a) * q_ + b;
+  }
+
+  void build_extension_tables();
+
+  std::uint32_t q_ = 0;
+  std::uint32_t p_ = 0;
+  std::uint32_t m_ = 0;
+  std::vector<std::uint32_t> irreducible_;  // degree m_, monic; empty if m_ == 1
+  std::vector<std::uint32_t> add_table_;
+  std::vector<std::uint32_t> mul_table_;
+  std::vector<std::uint32_t> neg_table_;
+  std::vector<std::uint32_t> inv_table_;
+};
+
+/// Horner evaluation of sum coeffs[i] * x^i over F (constant term first).
+std::uint32_t eval_poly(const GaloisField& F, std::span<const std::uint32_t> coeffs,
+                        std::uint32_t x);
+
+/// Finds the lexicographically smallest monic irreducible polynomial of
+/// degree m over GF(p), returned as m+1 coefficients, constant term first
+/// (the leading coefficient is 1). Uses a product sieve over all monic
+/// factor pairs, so intended for small p^m (the GaloisField table cap).
+std::vector<std::uint32_t> find_irreducible(std::uint32_t p, std::uint32_t m);
+
+}  // namespace ttdc::gf

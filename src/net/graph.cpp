@@ -1,0 +1,88 @@
+#include "net/graph.hpp"
+
+#include <cassert>
+#include <queue>
+#include <sstream>
+
+namespace ttdc::net {
+
+Graph::Graph(std::size_t num_nodes)
+    : adjacency_(num_nodes, util::DynamicBitset(num_nodes)) {}
+
+void Graph::add_edge(std::size_t a, std::size_t b) {
+  assert(a != b && a < num_nodes() && b < num_nodes());
+  if (adjacency_[a].test(b)) return;
+  adjacency_[a].set(b);
+  adjacency_[b].set(a);
+  ++num_edges_;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& adj : adjacency_) d = std::max(d, adj.count());
+  return d;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Graph::edges() const {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(num_edges_);
+  for (std::size_t a = 0; a < num_nodes(); ++a) {
+    adjacency_[a].for_each([&](std::size_t b) {
+      if (a < b) out.emplace_back(a, b);
+    });
+  }
+  return out;
+}
+
+bool Graph::is_connected() const {
+  if (num_nodes() <= 1) return true;
+  const auto dist = bfs_distances(0);
+  for (std::size_t d : dist) {
+    if (d == static_cast<std::size_t>(-1)) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> Graph::bfs_distances(std::size_t source) const {
+  std::vector<std::size_t> dist(num_nodes(), static_cast<std::size_t>(-1));
+  std::queue<std::size_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    adjacency_[u].for_each([&](std::size_t v) {
+      if (dist[v] == static_cast<std::size_t>(-1)) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    });
+  }
+  return dist;
+}
+
+std::vector<std::size_t> Graph::bfs_parents(std::size_t source) const {
+  std::vector<std::size_t> parent(num_nodes(), static_cast<std::size_t>(-1));
+  std::queue<std::size_t> frontier;
+  parent[source] = source;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    adjacency_[u].for_each([&](std::size_t v) {
+      if (parent[v] == static_cast<std::size_t>(-1)) {
+        parent[v] = u;
+        frontier.push(v);
+      }
+    });
+  }
+  return parent;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_nodes() << ", m=" << num_edges_ << ")";
+  return os.str();
+}
+
+}  // namespace ttdc::net

@@ -1,0 +1,65 @@
+// Undirected network graphs for the class N_n^D.
+//
+// The simulator and the topology-transparency experiments need concrete
+// members of N_n^D: graphs with at most n nodes whose degrees never exceed
+// D. Adjacency is stored both as per-node bitsets (collision resolution in
+// the simulator is a neighborhood-intersection query) and as sorted lists.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace ttdc::net {
+
+class Graph {
+ public:
+  explicit Graph(std::size_t num_nodes);
+
+  [[nodiscard]] std::size_t num_nodes() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge {a, b}; idempotent; a != b required.
+  void add_edge(std::size_t a, std::size_t b);
+
+  [[nodiscard]] bool has_edge(std::size_t a, std::size_t b) const {
+    return adjacency_[a].test(b);
+  }
+
+  /// Neighborhood of x as a bitset over nodes.
+  [[nodiscard]] const util::DynamicBitset& neighbors(std::size_t x) const {
+    return adjacency_[x];
+  }
+
+  /// Sorted neighbor list of x.
+  [[nodiscard]] std::vector<std::size_t> neighbor_list(std::size_t x) const {
+    return adjacency_[x].to_vector();
+  }
+
+  [[nodiscard]] std::size_t degree(std::size_t x) const { return adjacency_[x].count(); }
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// All edges as (a, b) with a < b.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> edges() const;
+
+  /// True if the graph is connected (singleton graphs are connected; the
+  /// empty graph on >= 2 nodes is not).
+  [[nodiscard]] bool is_connected() const;
+
+  /// BFS hop distances from `source` (SIZE_MAX for unreachable nodes).
+  [[nodiscard]] std::vector<std::size_t> bfs_distances(std::size_t source) const;
+
+  /// BFS parent pointers from `source` (parent[source] = source; SIZE_MAX
+  /// for unreachable). This is the routing tree used by convergecast.
+  [[nodiscard]] std::vector<std::size_t> bfs_parents(std::size_t source) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<util::DynamicBitset> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ttdc::net

@@ -1,0 +1,64 @@
+#include "sim/discovery.hpp"
+
+#include <limits>
+
+namespace ttdc::sim {
+
+namespace {
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+}
+
+bool DiscoveryResult::complete(const net::Graph& graph) const {
+  for (std::size_t y = 0; y < graph.num_nodes(); ++y) {
+    bool ok = true;
+    graph.neighbors(y).for_each([&](std::size_t x) {
+      if (first_heard[y][x] == kNever) ok = false;
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::size_t DiscoveryResult::last_discovery_slot() const {
+  std::size_t last = 0;
+  for (const auto& row : first_heard) {
+    for (std::size_t slot : row) {
+      if (slot != kNever) last = std::max(last, slot);
+    }
+  }
+  return last;
+}
+
+std::size_t DiscoveryResult::discovered_count() const {
+  std::size_t count = 0;
+  for (const auto& row : first_heard) {
+    for (std::size_t slot : row) {
+      if (slot != kNever) ++count;
+    }
+  }
+  return count;
+}
+
+DiscoveryResult run_discovery(const core::Schedule& schedule, const net::Graph& graph,
+                              std::size_t max_slots) {
+  const std::size_t n = graph.num_nodes();
+  DiscoveryResult result;
+  result.first_heard.assign(n, std::vector<std::size_t>(n, kNever));
+  result.slots_run = max_slots;
+  const std::size_t L = schedule.frame_length();
+  for (std::size_t t = 0; t < max_slots; ++t) {
+    const auto& transmitters = schedule.transmitters(t % L);
+    const auto& receivers = schedule.receivers(t % L);
+    receivers.for_each([&](std::size_t y) {
+      // y hears x iff x is y's unique transmitting neighbor this slot.
+      const util::DynamicBitset active = graph.neighbors(y) & transmitters;
+      if (active.count() == 1) {
+        const std::size_t x = active.find_first();
+        if (result.first_heard[y][x] == kNever) result.first_heard[y][x] = t;
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace ttdc::sim

@@ -1,0 +1,168 @@
+#include "sim/mac.hpp"
+
+#include <algorithm>
+
+namespace ttdc::sim {
+
+// ---------------------------------------------------------------- schedule
+
+DutyCycledScheduleMac::DutyCycledScheduleMac(const core::Schedule& schedule,
+                                             bool schedule_aware_senders)
+    : schedule_(schedule), aware_(schedule_aware_senders) {}
+
+void DutyCycledScheduleMac::begin_slot(std::uint64_t slot, util::Xoshiro256&) {
+  frame_slot_ = static_cast<std::size_t>(slot % schedule_.frame_length());
+}
+
+bool DutyCycledScheduleMac::can_receive(std::size_t node) const {
+  return schedule_.receivers(frame_slot_).test(node);
+}
+
+bool DutyCycledScheduleMac::wants_transmit(std::size_t node, std::size_t target) const {
+  if (!schedule_.transmitters(frame_slot_).test(node)) return false;
+  if (aware_ && !schedule_.receivers(frame_slot_).test(target)) return false;
+  return true;
+}
+
+RadioState DutyCycledScheduleMac::idle_state(std::size_t node) const {
+  // A scheduled receiver that hears nothing still burns listen power;
+  // everyone else sleeps.
+  return schedule_.receivers(frame_slot_).test(node) ? RadioState::kListen
+                                                     : RadioState::kSleep;
+}
+
+// ------------------------------------------------------------------ aloha
+
+SlottedAlohaMac::SlottedAlohaMac(std::size_t num_nodes, double attempt_probability)
+    : p_(attempt_probability), coin_(num_nodes) {}
+
+void SlottedAlohaMac::begin_slot(std::uint64_t, util::Xoshiro256& rng) {
+  coin_.reset_all();
+  for (std::size_t v = 0; v < coin_.size(); ++v) {
+    if (rng.bernoulli(p_)) coin_.set(v);
+  }
+}
+
+bool SlottedAlohaMac::wants_transmit(std::size_t node, std::size_t) const {
+  return coin_.test(node);
+}
+
+// ---------------------------------------------------------- uncoordinated
+
+UncoordinatedSleepMac::UncoordinatedSleepMac(std::size_t num_nodes, double awake_probability,
+                                             double attempt_probability)
+    : awake_p_(awake_probability), attempt_p_(attempt_probability), awake_(num_nodes),
+      coin_(num_nodes) {}
+
+void UncoordinatedSleepMac::begin_slot(std::uint64_t, util::Xoshiro256& rng) {
+  awake_.reset_all();
+  coin_.reset_all();
+  for (std::size_t v = 0; v < awake_.size(); ++v) {
+    if (rng.bernoulli(awake_p_)) {
+      awake_.set(v);
+      if (rng.bernoulli(attempt_p_)) coin_.set(v);
+    }
+  }
+}
+
+bool UncoordinatedSleepMac::can_receive(std::size_t node) const { return awake_.test(node); }
+
+bool UncoordinatedSleepMac::wants_transmit(std::size_t node, std::size_t) const {
+  return coin_.test(node);  // sender does not know the receiver's state
+}
+
+RadioState UncoordinatedSleepMac::idle_state(std::size_t node) const {
+  return awake_.test(node) ? RadioState::kListen : RadioState::kSleep;
+}
+
+// ------------------------------------------------------- common active period
+
+CommonActivePeriodMac::CommonActivePeriodMac(std::size_t num_nodes, std::size_t frame_length,
+                                             std::size_t active_slots,
+                                             double attempt_probability)
+    : frame_length_(frame_length), active_slots_(active_slots), p_(attempt_probability),
+      coin_(num_nodes) {
+  assert(active_slots >= 1 && active_slots <= frame_length);
+}
+
+void CommonActivePeriodMac::begin_slot(std::uint64_t slot, util::Xoshiro256& rng) {
+  in_active_ = (slot % frame_length_) < active_slots_;
+  coin_.reset_all();
+  if (in_active_) {
+    for (std::size_t v = 0; v < coin_.size(); ++v) {
+      if (rng.bernoulli(p_)) coin_.set(v);
+    }
+  }
+}
+
+bool CommonActivePeriodMac::can_receive(std::size_t) const { return in_active_; }
+
+bool CommonActivePeriodMac::wants_transmit(std::size_t node, std::size_t) const {
+  return in_active_ && coin_.test(node);
+}
+
+RadioState CommonActivePeriodMac::idle_state(std::size_t) const {
+  return in_active_ ? RadioState::kListen : RadioState::kSleep;
+}
+
+// ------------------------------------------------------------ coloring tdma
+
+std::vector<std::size_t> distance2_coloring(const net::Graph& graph) {
+  const std::size_t n = graph.num_nodes();
+  std::vector<std::size_t> color(n, static_cast<std::size_t>(-1));
+  std::vector<bool> taken;
+  for (std::size_t v = 0; v < n; ++v) {
+    taken.assign(n + 1, false);
+    // Forbid colors of all nodes within distance 2.
+    graph.neighbors(v).for_each([&](std::size_t u) {
+      if (color[u] != static_cast<std::size_t>(-1)) taken[color[u]] = true;
+      graph.neighbors(u).for_each([&](std::size_t w) {
+        if (w != v && color[w] != static_cast<std::size_t>(-1)) taken[color[w]] = true;
+      });
+    });
+    std::size_t c = 0;
+    while (taken[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+ColoringTdmaMac::ColoringTdmaMac(const net::Graph& graph) { rebuild(graph); }
+
+void ColoringTdmaMac::rebuild(const net::Graph& graph) {
+  color_ = distance2_coloring(graph);
+  num_colors_ = color_.empty() ? 1 : *std::max_element(color_.begin(), color_.end()) + 1;
+  neighbor_.clear();
+  neighbor_.reserve(graph.num_nodes());
+  for (std::size_t v = 0; v < graph.num_nodes(); ++v) neighbor_.push_back(graph.neighbors(v));
+}
+
+void ColoringTdmaMac::begin_slot(std::uint64_t slot, util::Xoshiro256&) {
+  current_color_ = static_cast<std::size_t>(slot % num_colors_);
+}
+
+bool ColoringTdmaMac::can_receive(std::size_t node) const {
+  // Listen unless it is the node's own transmit slot.
+  return color_[node] != current_color_;
+}
+
+bool ColoringTdmaMac::wants_transmit(std::size_t node, std::size_t) const {
+  return color_[node] == current_color_;
+}
+
+RadioState ColoringTdmaMac::idle_state(std::size_t node) const {
+  // Sleep unless some (snapshot) neighbor owns the slot.
+  bool neighbor_owns = false;
+  neighbor_[node].for_each([&](std::size_t u) {
+    if (color_[u] == current_color_) neighbor_owns = true;
+  });
+  return neighbor_owns ? RadioState::kListen : RadioState::kSleep;
+}
+
+bool ColoringTdmaMac::on_topology_change(const net::Graph& graph) {
+  rebuild(graph);
+  ++recolor_count_;
+  return true;
+}
+
+}  // namespace ttdc::sim

@@ -1,0 +1,43 @@
+// Packets and per-node FIFO queues for the slot simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace ttdc::sim {
+
+struct Packet {
+  std::uint64_t id = 0;
+  std::size_t origin = 0;       // node that generated it
+  std::size_t destination = 0;  // final destination
+  std::uint64_t created_slot = 0;
+  std::uint32_t hops = 0;
+};
+
+/// Bounded FIFO; pushes beyond capacity are dropped (and counted by the
+/// simulator as queue drops).
+class PacketQueue {
+ public:
+  explicit PacketQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Returns false (drop) when full.
+  bool push(const Packet& p) {
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(p);
+    return true;
+  }
+
+  [[nodiscard]] const Packet& front() const { return queue_.front(); }
+  void pop() { queue_.pop_front(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> queue_;
+};
+
+}  // namespace ttdc::sim

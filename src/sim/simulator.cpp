@@ -1,0 +1,167 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace ttdc::sim {
+
+Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
+                     const SimConfig& config)
+    : graph_(std::move(graph)), mac_(mac), traffic_(traffic), config_(config),
+      rng_(config.seed), routing_(graph_),
+      queues_(graph_.num_nodes(), PacketQueue(config.queue_capacity)),
+      transmitting_(graph_.num_nodes()) {
+  stats_.state_slots.assign(graph_.num_nodes(), {0, 0, 0, 0});
+  stats_.delivered_by_origin.assign(graph_.num_nodes(), 0);
+  stats_.wake_transitions.assign(graph_.num_nodes(), 0);
+  was_asleep_.assign(graph_.num_nodes(), true);  // nodes boot asleep
+  battery_.assign(graph_.num_nodes(), config_.battery_mj);
+  dead_ = util::DynamicBitset(graph_.num_nodes());
+}
+
+void Simulator::set_graph(net::Graph graph) {
+  assert(graph.num_nodes() == graph_.num_nodes());
+  graph_ = std::move(graph);
+  routing_ = RoutingTable(graph_);
+  mac_.on_topology_change(graph_);
+}
+
+void Simulator::inject(std::size_t origin, std::size_t destination) {
+  if (dead_.test(origin)) return;  // a dead sensor senses nothing
+  ++stats_.generated;
+  Packet p;
+  p.id = next_packet_id_++;
+  p.origin = origin;
+  p.destination = destination;
+  p.created_slot = now_;
+  trace(TraceEvent::Kind::kGenerated, origin, destination, p.id);
+  if (!queues_[origin].push(p)) {
+    ++stats_.queue_drops;
+    trace(TraceEvent::Kind::kQueueDrop, origin, origin, p.id);
+  }
+}
+
+void Simulator::trace(TraceEvent::Kind kind, std::size_t node, std::size_t peer,
+                      std::uint64_t packet_id) {
+  if (config_.trace) {
+    config_.trace(TraceEvent{kind, now_, node, peer, packet_id});
+  }
+}
+
+void Simulator::run(std::uint64_t slots) {
+  for (std::uint64_t s = 0; s < slots; ++s) step();
+}
+
+void Simulator::step() {
+  const std::size_t n = graph_.num_nodes();
+  traffic_.generate(now_, rng_, [&](std::size_t o, std::size_t d) { inject(o, d); });
+  mac_.begin_slot(now_, rng_);
+
+  // Phase 1: collect transmission attempts.
+  tx_nodes_.clear();
+  tx_targets_.clear();
+  transmitting_.reset_all();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dead_.test(v)) continue;
+    auto& q = queues_[v];
+    while (!q.empty()) {
+      const std::size_t hop = routing_.next_hop(v, q.front().destination);
+      if (hop == static_cast<std::size_t>(-1)) {
+        if (config_.drop_unroutable) {
+          ++stats_.queue_drops;
+          q.pop();
+          continue;  // look at the next packet
+        }
+        break;  // stall
+      }
+      if (mac_.wants_transmit(v, hop)) {
+        tx_nodes_.push_back(v);
+        tx_targets_.push_back(hop);
+        transmitting_.set(v);
+        trace(TraceEvent::Kind::kTransmit, v, hop, q.front().id);
+      }
+      break;
+    }
+  }
+
+  // Phase 2: resolve receptions under the collision-at-receiver model.
+  stats_.transmissions += tx_nodes_.size();
+  for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
+    const std::size_t x = tx_nodes_[i];
+    const std::size_t y = tx_targets_[i];
+    if (dead_.test(y) || !mac_.can_receive(y) || transmitting_.test(y)) {
+      ++stats_.receiver_asleep;
+      trace(TraceEvent::Kind::kReceiverAsleep, y, x, queues_[x].front().id);
+      continue;
+    }
+    // Collision iff any other transmitter is in y's neighborhood.
+    util::DynamicBitset interferers = graph_.neighbors(y) & transmitting_;
+    interferers.reset(x);
+    if (interferers.any()) {
+      ++stats_.collisions;
+      trace(TraceEvent::Kind::kCollision, y, x, queues_[x].front().id);
+      continue;
+    }
+    // Channel imperfections: slot misalignment, then fading/noise.
+    if (config_.sync_miss_rate > 0.0 && rng_.bernoulli(config_.sync_miss_rate)) {
+      ++stats_.sync_losses;
+      trace(TraceEvent::Kind::kSyncLoss, y, x, queues_[x].front().id);
+      continue;
+    }
+    if (config_.packet_error_rate > 0.0 && rng_.bernoulli(config_.packet_error_rate)) {
+      ++stats_.channel_losses;
+      trace(TraceEvent::Kind::kChannelLoss, y, x, queues_[x].front().id);
+      continue;
+    }
+    // Success: dequeue at x, deliver or forward at y.
+    Packet p = queues_[x].front();
+    queues_[x].pop();
+    ++stats_.hop_successes;
+    ++p.hops;
+    if (p.destination == y) {
+      ++stats_.delivered;
+      ++stats_.delivered_by_origin[p.origin];
+      stats_.latency.record(now_ - p.created_slot);
+      trace(TraceEvent::Kind::kFinalDelivered, y, p.origin, p.id);
+    } else {
+      trace(TraceEvent::Kind::kHopDelivered, y, x, p.id);
+      if (!queues_[y].push(p)) {
+        ++stats_.queue_drops;
+        trace(TraceEvent::Kind::kQueueDrop, y, p.origin, p.id);
+      }
+    }
+  }
+
+  // Phase 3: energy accounting (dead nodes draw nothing and stay dead).
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dead_.test(v)) continue;
+    RadioState state;
+    if (transmitting_.test(v)) {
+      state = RadioState::kTransmit;
+    } else if (mac_.can_receive(v)) {
+      state = RadioState::kListen;  // eligible receiver: awake whether or
+                                    // not a packet actually arrived
+    } else {
+      state = mac_.idle_state(v);
+    }
+    ++stats_.state_slots[v][static_cast<std::size_t>(state)];
+    const bool asleep = state == RadioState::kSleep;
+    const bool woke = was_asleep_[v] && !asleep;
+    if (woke) ++stats_.wake_transitions[v];
+    was_asleep_[v] = asleep;
+    if (config_.battery_mj > 0.0) {
+      battery_[v] -= config_.energy.energy_mj(state, 1);
+      if (woke) battery_[v] -= config_.energy.wakeup_mj;
+      if (battery_[v] <= 0.0) {
+        dead_.set(v);
+        battery_[v] = 0.0;
+        ++stats_.deaths;
+        stats_.first_death_slot = std::min(stats_.first_death_slot, now_);
+      }
+    }
+  }
+
+  ++now_;
+  ++stats_.slots_run;
+}
+
+}  // namespace ttdc::sim

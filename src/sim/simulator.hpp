@@ -1,0 +1,129 @@
+// The slot-synchronous WSN simulator.
+//
+// Implements the paper's system model (§3) verbatim: time is a sequence of
+// slots; in each slot a MAC protocol decides who transmits and who can
+// receive; a transmission x -> y succeeds iff y can receive, y is not
+// itself transmitting, and x is the ONLY transmitter in y's neighborhood
+// (collision-at-receiver, no capture). Energy is accounted per node per
+// slot by radio state.
+//
+// Topology can be swapped mid-run (set_graph) to model churn; topology-
+// transparent MACs keep working with no reconfiguration, which is the point
+// of the paper.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "sim/mac.hpp"
+#include "sim/packet.hpp"
+#include "sim/stats.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::sim {
+
+/// A single simulator event, delivered to the optional trace hook as it
+/// happens (ns-2/OMNeT-style observability for debugging and replay).
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kGenerated,      // node = origin, peer = final destination
+    kTransmit,       // node = transmitter, peer = intended next hop
+    kHopDelivered,   // node = receiver, peer = transmitter (packet forwarded on)
+    kFinalDelivered, // node = receiver, peer = origin
+    kCollision,      // node = intended receiver, peer = transmitter
+    kReceiverAsleep, // node = intended receiver, peer = transmitter
+    kChannelLoss,    // node = intended receiver, peer = transmitter
+    kSyncLoss,       // node = intended receiver, peer = transmitter
+    kQueueDrop,      // node = dropping node, peer = packet origin
+  };
+  Kind kind;
+  std::uint64_t slot;
+  std::size_t node;
+  std::size_t peer;
+  std::uint64_t packet_id;
+};
+
+struct SimConfig {
+  std::uint64_t seed = 0x5eed;
+  std::size_t queue_capacity = 64;
+  /// If true, packets whose next hop is unreachable are dropped (counted as
+  /// queue drops); otherwise they stall at the head of the queue.
+  bool drop_unroutable = true;
+  /// Channel imperfections. The paper assumes a perfect slotted channel
+  /// ("we assume an efficient synchronization scheme is available"); these
+  /// knobs probe how gracefully the guarantees degrade when it is not.
+  /// An otherwise-successful reception is lost with probability
+  /// packet_error_rate (fading/noise), and independently with probability
+  /// sync_miss_rate (transmitter misaligned with the slot grid).
+  double packet_error_rate = 0.0;
+  double sync_miss_rate = 0.0;
+  /// Optional per-event hook; leave empty for zero overhead on the hot
+  /// path beyond a branch.
+  std::function<void(const TraceEvent&)> trace;
+  /// Per-node battery budget in millijoules; 0 means unlimited. When a
+  /// node's budget (drained per slot by radio state and per wakeup, using
+  /// `energy`) reaches zero the node dies: it stops generating,
+  /// transmitting, receiving, and draining. This is the network-lifetime
+  /// model duty cycling exists to optimize.
+  double battery_mj = 0.0;
+  EnergyModel energy;
+};
+
+class Simulator {
+ public:
+  Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
+            const SimConfig& config = {});
+
+  /// Runs `slots` additional slots (cumulative; stats keep accumulating).
+  void run(std::uint64_t slots);
+
+  /// Swaps the topology (churn). Rebuilds routing; notifies the MAC.
+  /// The node count must not change.
+  void set_graph(net::Graph graph);
+
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+  [[nodiscard]] const net::Graph& graph() const { return graph_; }
+  [[nodiscard]] std::uint64_t now() const { return now_; }
+
+  /// Backlog probe for SaturatedFlows.
+  [[nodiscard]] std::size_t queue_size(std::size_t node) const {
+    return queues_[node].size();
+  }
+
+  /// Battery state (only meaningful when config.battery_mj > 0).
+  [[nodiscard]] bool is_alive(std::size_t node) const { return !dead_.test(node); }
+  [[nodiscard]] std::size_t alive_count() const { return dead_.size() - dead_.count(); }
+  [[nodiscard]] double remaining_battery_mj(std::size_t node) const {
+    return battery_[node];
+  }
+
+ private:
+  void inject(std::size_t origin, std::size_t destination);
+  void step();
+  void trace(TraceEvent::Kind kind, std::size_t node, std::size_t peer,
+             std::uint64_t packet_id);
+
+  net::Graph graph_;
+  MacProtocol& mac_;
+  TrafficSource& traffic_;
+  SimConfig config_;
+  util::Xoshiro256 rng_;
+  RoutingTable routing_;
+  std::vector<PacketQueue> queues_;
+  SimStats stats_;
+  std::uint64_t now_ = 0;
+  std::uint64_t next_packet_id_ = 0;
+
+  // Per-slot scratch, kept here to avoid reallocation.
+  std::vector<std::size_t> tx_nodes_;
+  std::vector<std::size_t> tx_targets_;
+  util::DynamicBitset transmitting_;
+  std::vector<bool> was_asleep_;  // previous-slot radio state, for wakeup accounting
+  std::vector<double> battery_;   // remaining mJ per node (battery_mj > 0 only)
+  util::DynamicBitset dead_;      // depleted nodes
+};
+
+}  // namespace ttdc::sim

@@ -1,0 +1,78 @@
+// Counters and summary statistics collected by the simulator.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/radio.hpp"
+
+namespace ttdc::sim {
+
+/// Streaming latency statistics (slots from creation to final delivery).
+class LatencyStats {
+ public:
+  void record(std::uint64_t latency_slots) { samples_.push_back(latency_slots); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::uint64_t max() const;
+  /// Percentile in [0, 100]; 0 if no samples. Nearest-rank definition.
+  [[nodiscard]] std::uint64_t percentile(double pct) const;
+
+ private:
+  mutable std::vector<std::uint64_t> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+struct SimStats {
+  std::uint64_t slots_run = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;      // reached final destination
+  std::uint64_t hop_successes = 0;  // per-hop receptions
+  std::uint64_t transmissions = 0;
+  std::uint64_t collisions = 0;     // transmissions lost to a collision
+  std::uint64_t receiver_asleep = 0;  // transmissions lost: receiver not receiving
+  std::uint64_t channel_losses = 0;   // lost to the packet_error_rate knob
+  std::uint64_t sync_losses = 0;      // lost to the sync_miss_rate knob
+  std::uint64_t queue_drops = 0;
+  LatencyStats latency;
+
+  // Per-node slot counts by radio state: [node][state].
+  std::vector<std::array<std::uint64_t, 4>> state_slots;
+
+  // Final deliveries broken down by originating node (per-flow throughput).
+  std::vector<std::uint64_t> delivered_by_origin;
+
+  // Per-node count of sleep -> awake radio transitions (each costs
+  // EnergyModel::wakeup_mj).
+  std::vector<std::uint64_t> wake_transitions;
+
+  // Network lifetime (battery model): slot of the first node death and the
+  // running death count. first_death_slot is UINT64_MAX while all alive.
+  std::uint64_t first_death_slot = ~std::uint64_t{0};
+  std::uint64_t deaths = 0;
+
+  [[nodiscard]] double delivery_ratio() const {
+    return generated == 0 ? 0.0 : static_cast<double>(delivered) / static_cast<double>(generated);
+  }
+  /// Per-hop success ratio among attempted transmissions.
+  [[nodiscard]] double success_ratio() const {
+    return transmissions == 0
+               ? 0.0
+               : static_cast<double>(hop_successes) / static_cast<double>(transmissions);
+  }
+  /// Average fraction of node-slots spent not sleeping.
+  [[nodiscard]] double awake_fraction() const;
+  /// Total network energy (mJ) under `model`.
+  [[nodiscard]] double total_energy_mj(const EnergyModel& model) const;
+  /// Energy per delivered packet (mJ); infinity when nothing was delivered.
+  [[nodiscard]] double energy_per_delivery_mj(const EnergyModel& model) const;
+
+  [[nodiscard]] std::string summary(const EnergyModel& model) const;
+};
+
+}  // namespace ttdc::sim

@@ -1,0 +1,104 @@
+// Traffic sources and routing for the slot simulator.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::sim {
+
+/// Callback used by traffic sources to inject a packet: (origin, final
+/// destination).
+using EmitFn = std::function<void(std::size_t, std::size_t)>;
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+  /// Called at the start of every slot; may emit any number of packets.
+  virtual void generate(std::uint64_t slot, util::Xoshiro256& rng, const EmitFn& emit) = 0;
+};
+
+/// Saturated directed flows: each (src, dst) flow keeps the source
+/// backlogged — the simulator tells the source how many packets the origin
+/// currently holds via the `backlog` probe and the source tops it up to 1.
+/// This reproduces the paper's worst case: "each neighbor has a packet to
+/// transmit" in every eligible slot.
+class SaturatedFlows final : public TrafficSource {
+ public:
+  using BacklogFn = std::function<std::size_t(std::size_t)>;
+
+  SaturatedFlows(std::vector<std::pair<std::size_t, std::size_t>> flows, BacklogFn backlog)
+      : flows_(std::move(flows)), backlog_(std::move(backlog)) {}
+
+  void generate(std::uint64_t, util::Xoshiro256&, const EmitFn& emit) override {
+    for (const auto& [src, dst] : flows_) {
+      if (backlog_(src) == 0) emit(src, dst);
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::size_t, std::size_t>> flows_;
+  BacklogFn backlog_;
+};
+
+/// Light random traffic: each node independently generates a packet with
+/// probability `rate` per slot, destined to a uniformly random other node.
+class BernoulliTraffic final : public TrafficSource {
+ public:
+  BernoulliTraffic(std::size_t num_nodes, double rate) : n_(num_nodes), rate_(rate) {}
+
+  void generate(std::uint64_t, util::Xoshiro256& rng, const EmitFn& emit) override {
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (rng.bernoulli(rate_)) {
+        std::size_t dst = static_cast<std::size_t>(rng.below(n_ - 1));
+        if (dst >= v) ++dst;
+        emit(v, dst);
+      }
+    }
+  }
+
+ private:
+  std::size_t n_;
+  double rate_;
+};
+
+/// Convergecast: every non-sink node generates toward the sink with
+/// probability `rate` per slot — the canonical WSN data-collection load.
+class ConvergecastTraffic final : public TrafficSource {
+ public:
+  ConvergecastTraffic(std::size_t num_nodes, std::size_t sink, double rate)
+      : n_(num_nodes), sink_(sink), rate_(rate) {}
+
+  void generate(std::uint64_t, util::Xoshiro256& rng, const EmitFn& emit) override {
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (v != sink_ && rng.bernoulli(rate_)) emit(v, sink_);
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t sink_;
+  double rate_;
+};
+
+/// Next-hop routing table: next_hop(u, dst) is the neighbor u forwards to.
+/// Built from all-pairs BFS (shortest hop paths); rebuilt on topology
+/// change by the simulator.
+class RoutingTable {
+ public:
+  explicit RoutingTable(const net::Graph& graph);
+
+  /// SIZE_MAX when dst is unreachable from u.
+  [[nodiscard]] std::size_t next_hop(std::size_t from, std::size_t dst) const {
+    return table_[dst][from];
+  }
+
+ private:
+  // table_[dst][u] = parent of u in the BFS tree rooted at dst.
+  std::vector<std::vector<std::size_t>> table_;
+};
+
+}  // namespace ttdc::sim

@@ -1,0 +1,71 @@
+#include "util/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace ttdc::util {
+
+namespace {
+
+// Checked a*b for u128.
+u128 mul_checked(u128 a, u128 b) {
+  if (a != 0 && b > static_cast<u128>(-1) / a) throw CountingOverflow();
+  return a * b;
+}
+
+}  // namespace
+
+u128 binomial_exact(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min<std::uint64_t>(k, n - k);
+  u128 result = 1;
+  // Multiply/divide interleaved; result stays integral at every step because
+  // C(n - k + i, i) is integral.
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    result = mul_checked(result, n - k + i);
+    result /= i;
+  }
+  return result;
+}
+
+std::uint64_t binomial_u64(std::uint64_t n, std::uint64_t k) {
+  const u128 v = binomial_exact(n, k);
+  if (v > std::numeric_limits<std::uint64_t>::max()) throw CountingOverflow();
+  return static_cast<std::uint64_t>(v);
+}
+
+long double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<long double>::infinity();
+  if (k == 0 || k == n) return 0.0L;
+  return std::lgamma(static_cast<long double>(n) + 1.0L) -
+         std::lgamma(static_cast<long double>(k) + 1.0L) -
+         std::lgamma(static_cast<long double>(n - k) + 1.0L);
+}
+
+long double binomial_ld(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0.0L;
+  return std::exp(log_binomial(n, k));
+}
+
+u128 falling_factorial_exact(std::uint64_t n, std::uint64_t k) {
+  u128 result = 1;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    result = mul_checked(result, n - i);
+  }
+  return result;
+}
+
+std::string u128_to_string(u128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v != 0) {
+    out.push_back(static_cast<char>('0' + static_cast<unsigned>(v % 10)));
+    v /= 10;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ttdc::util

@@ -1,0 +1,41 @@
+// Binomial coefficients and related counting, in two precisions.
+//
+// The throughput theorems (Theorems 2-4, 7-9 of the paper) are ratios of
+// products of binomials. Tests evaluate them exactly (unsigned __int128,
+// overflow-checked); large-n sweeps evaluate them in long-double log space.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ttdc::util {
+
+using u128 = unsigned __int128;
+
+/// Thrown when an exact counting operation would exceed 128 bits.
+class CountingOverflow : public std::overflow_error {
+ public:
+  CountingOverflow() : std::overflow_error("binomial computation overflowed 128 bits") {}
+};
+
+/// Exact C(n, k). Returns 0 when k > n. Throws CountingOverflow if the
+/// result (or an intermediate product step) does not fit in 128 bits.
+u128 binomial_exact(std::uint64_t n, std::uint64_t k);
+
+/// Exact C(n, k) as uint64_t; throws CountingOverflow if it does not fit.
+std::uint64_t binomial_u64(std::uint64_t n, std::uint64_t k);
+
+/// ln C(n, k) via lgamma; returns -inf when k > n.
+long double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// C(n, k) as long double (exp of log_binomial); 0 when k > n.
+long double binomial_ld(std::uint64_t n, std::uint64_t k);
+
+/// Exact falling factorial n * (n-1) * ... * (n-k+1); throws on overflow.
+u128 falling_factorial_exact(std::uint64_t n, std::uint64_t k);
+
+/// Renders a u128 in decimal (no standard operator<< exists for it).
+std::string u128_to_string(u128 v);
+
+}  // namespace ttdc::util

@@ -1,0 +1,183 @@
+#include "util/bitset.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace ttdc::util {
+
+void DynamicBitset::set_all() {
+  for (auto& w : words_) w = ~Word{0};
+  trim_tail();
+}
+
+void DynamicBitset::reset_all() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t total = 0;
+  for (Word w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool DynamicBitset::none() const {
+  for (Word w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::size_t DynamicBitset::intersection_count(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+std::size_t DynamicBitset::difference_count(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
+  }
+  return total;
+}
+
+bool DynamicBitset::has_member_outside(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::subtract(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+DynamicBitset DynamicBitset::complement() const {
+  DynamicBitset out(size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.trim_tail();
+  return out;
+}
+
+std::size_t DynamicBitset::find_first() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t pos) const {
+  ++pos;
+  if (pos >= size_) return size_;
+  std::size_t w = pos / kWordBits;
+  Word masked = words_[w] & (~Word{0} << (pos % kWordBits));
+  if (masked != 0) {
+    return w * kWordBits + static_cast<std::size_t>(std::countr_zero(masked));
+  }
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+std::vector<std::size_t> DynamicBitset::to_vector() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::string DynamicBitset::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for_each([&](std::size_t i) {
+    if (!first) os << ", ";
+    os << i;
+    first = false;
+  });
+  os << '}';
+  return os.str();
+}
+
+std::size_t DynamicBitset::count_and_andnot(const DynamicBitset& a,
+                                            const DynamicBitset& b) const {
+  assert(size_ == a.size_ && size_ == b.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & a.words_[i] & ~b.words_[i]));
+  }
+  return total;
+}
+
+bool DynamicBitset::any_and_andnot(const DynamicBitset& a, const DynamicBitset& b) const {
+  assert(size_ == a.size_ && size_ == b.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & a.words_[i] & ~b.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+void DynamicBitset::trim_tail() {
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (Word{1} << rem) - 1;
+  }
+}
+
+std::size_t BitsetHash::operator()(const DynamicBitset& b) const noexcept {
+  std::size_t h = 1469598103934665603ull;
+  for (DynamicBitset::Word w : b.words()) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ull;
+  }
+  h ^= b.size();
+  return h;
+}
+
+}  // namespace ttdc::util

@@ -1,0 +1,94 @@
+// OpenMP-backed helpers for embarrassingly parallel sweeps.
+//
+// Used by the exact Requirement checkers (parallel over node x), Monte-Carlo
+// replicates, and bench grids. Kept deliberately small: a parallel index
+// loop and a parallel reduction; stateful simulation never runs under these.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ttdc::util {
+
+/// Number of worker threads OpenMP would use (1 when built without OpenMP).
+inline int hardware_parallelism() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// fn(i) for i in [begin, end), dynamically scheduled across threads.
+/// fn must be safe to call concurrently for distinct i.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t i = static_cast<std::int64_t>(begin); i < static_cast<std::int64_t>(end);
+       ++i) {
+    fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) fn(i);
+#endif
+}
+
+/// Parallel map-reduce: sums fn(i) over i in [begin, end).
+/// Reduction order differs between thread counts; use only for commutative
+/// associative numeric accumulations (counts, integer sums).
+template <typename Fn>
+auto parallel_sum(std::size_t begin, std::size_t end, Fn&& fn) -> decltype(fn(begin)) {
+  using Acc = decltype(fn(begin));
+  Acc total{};
+#ifdef _OPENMP
+#pragma omp parallel
+  {
+    Acc local{};
+#pragma omp for schedule(dynamic, 1) nowait
+    for (std::int64_t i = static_cast<std::int64_t>(begin); i < static_cast<std::int64_t>(end);
+         ++i) {
+      local += fn(static_cast<std::size_t>(i));
+    }
+#pragma omp critical(ttdc_parallel_sum)
+    total += local;
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) total += fn(i);
+#endif
+  return total;
+}
+
+/// Parallel "does any i satisfy pred" with early termination via a shared
+/// flag (threads stop doing work once a witness is found, though iterations
+/// already started run to completion).
+template <typename Pred>
+bool parallel_any(std::size_t begin, std::size_t end, Pred&& pred) {
+  bool found = false;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1) shared(found)
+  for (std::int64_t i = static_cast<std::int64_t>(begin); i < static_cast<std::int64_t>(end);
+       ++i) {
+    bool local_found;
+#pragma omp atomic read
+    local_found = found;
+    if (local_found) continue;
+    if (pred(static_cast<std::size_t>(i))) {
+#pragma omp atomic write
+      found = true;
+    }
+  }
+#else
+  for (std::size_t i = begin; i < end && !found; ++i) {
+    if (pred(i)) found = true;
+  }
+#endif
+  return found;
+}
+
+}  // namespace ttdc::util

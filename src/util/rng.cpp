@@ -1,0 +1,50 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace ttdc::util {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  using u128 = unsigned __int128;
+  std::uint64_t x = (*this)();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+Xoshiro256 Xoshiro256::split() {
+  // Use two outputs of the parent as the child's seed material.
+  SplitMix64 sm((*this)() ^ 0x6a09e667f3bcc909ull);
+  sm.state ^= (*this)();
+  Xoshiro256 child(sm.next());
+  return child;
+}
+
+std::vector<std::size_t> sample_k_of(std::size_t universe, std::size_t k, Xoshiro256& rng) {
+  assert(k <= universe);
+  // Floyd's subset sampling: iterate j = universe-k .. universe-1, insert a
+  // uniform pick from [0, j]; on collision insert j itself.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::size_t j = universe - k; j < universe; ++j) {
+    const std::size_t t = static_cast<std::size_t>(rng.below(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<std::size_t> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ttdc::util

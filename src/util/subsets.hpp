@@ -1,0 +1,64 @@
+// Enumeration and sampling of k-subsets of [0, n).
+//
+// The exact Requirement checkers and the brute-force throughput oracles
+// enumerate all C(n-1, D) neighborhoods; the Monte-Carlo variants sample
+// them. Enumeration is lexicographic with an early-exit callback so callers
+// can stop at the first violation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ttdc::util {
+
+/// Calls visit(span-of-k-indices) for every k-subset of [0, n) in
+/// lexicographic order. visit returns false to stop enumeration early.
+/// Returns true if enumeration completed (was not stopped).
+template <typename Visit>
+bool for_each_k_subset(std::size_t n, std::size_t k, Visit&& visit) {
+  if (k > n) return true;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  if (k == 0) {
+    return visit(std::span<const std::size_t>(idx.data(), 0));
+  }
+  while (true) {
+    if (!visit(std::span<const std::size_t>(idx.data(), k))) return false;
+    // Advance: find rightmost index that can be incremented.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return true;  // exhausted
+    }
+  }
+}
+
+/// As for_each_k_subset but over an arbitrary pool of values: visits every
+/// k-subset of `pool` (by value).
+template <typename T, typename Visit>
+bool for_each_k_subset_of(std::span<const T> pool, std::size_t k, Visit&& visit) {
+  std::vector<T> scratch(k);
+  return for_each_k_subset(pool.size(), k, [&](std::span<const std::size_t> idx) {
+    for (std::size_t i = 0; i < k; ++i) scratch[i] = pool[idx[i]];
+    return visit(std::span<const T>(scratch.data(), k));
+  });
+}
+
+/// Uniform random k-subset of `pool` (values, sorted by pool order).
+template <typename T>
+std::vector<T> sample_k_from(std::span<const T> pool, std::size_t k, Xoshiro256& rng) {
+  std::vector<T> out;
+  out.reserve(k);
+  for (std::size_t i : sample_k_of(pool.size(), k, rng)) out.push_back(pool[i]);
+  return out;
+}
+
+}  // namespace ttdc::util

@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace ttdc::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  assert(!columns_.empty());
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os.precision(precision_);
+  os << std::get<double>(c);
+  return os.str();
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(columns_);
+  os << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& r : rendered) emit_row(r);
+  return os.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+void print_banner(const std::string& experiment,
+                  std::initializer_list<std::pair<std::string, std::string>> params) {
+  std::cout << "# experiment = " << experiment << '\n';
+  for (const auto& [k, v] : params) {
+    std::cout << "# " << k << " = " << v << '\n';
+  }
+}
+
+}  // namespace ttdc::util

@@ -1,0 +1,56 @@
+// Tabular output for the benchmark harness.
+//
+// Every bench binary prints its result table both as aligned text (for the
+// terminal) and optionally as CSV (for plotting), with a reproducibility
+// header carrying the seed and parameters.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ttdc::util {
+
+/// A cell is a string, an integer, or a double (formatted with precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Row-major table with named columns; renders to aligned text or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Sets the number of significant digits used for double cells (default 6).
+  void set_precision(int digits) { precision_ = digits; }
+
+  /// Adds one row; the number of cells must equal the number of columns.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const { return columns_.size(); }
+
+  /// Renders as an aligned, pipe-separated text table.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes CSV to a file; returns false (and leaves no partial file
+  /// guarantee) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 6;
+};
+
+/// Prints a "# key = value" reproducibility banner line to stdout.
+void print_banner(const std::string& experiment,
+                  std::initializer_list<std::pair<std::string, std::string>> params);
+
+}  // namespace ttdc::util

@@ -1,0 +1,27 @@
+// Minimal wall-clock timer for bench reporting outside google-benchmark.
+#pragma once
+
+#include <chrono>
+
+namespace ttdc::util {
+
+/// Steady-clock stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed seconds since construction/restart.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/restart.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ttdc::util

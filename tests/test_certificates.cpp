@@ -1,0 +1,135 @@
+// Transparency certificates and exact max-degree search, plus the S-MAC
+// common-active-period baseline's basic behaviour.
+#include <gtest/gtest.h>
+
+#include "combinatorics/constructions.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "core/requirements.hpp"
+#include "net/topology.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+
+namespace ttdc {
+namespace {
+
+using core::Schedule;
+
+TEST(Certificate, TdmaCertifiesMaximalDegree) {
+  const Schedule s = core::non_sleeping_from_family(comb::tdma_family(8));
+  EXPECT_EQ(core::requirement1_certificate_degree(s), 7u);
+}
+
+TEST(Certificate, PolynomialFamilyCertifiesDesignDegree) {
+  // poly(q, k): w = q, λ <= k -> certificate (q-1)/k, the design degree.
+  for (const auto& [q, k] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {5, 1}, {5, 2}, {7, 2}, {9, 2}}) {
+    const Schedule s = core::non_sleeping_from_family(
+        comb::polynomial_family(q, k, comb::polynomial_family_capacity(q, k)));
+    EXPECT_EQ(core::requirement1_certificate_degree(s), (q - 1) / k) << "q=" << q;
+  }
+}
+
+TEST(Certificate, NeverExceedsExactMaxDegree) {
+  // The certificate is sufficient, not necessary: certified <= exact.
+  util::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.below(4));
+    const Schedule s = core::random_non_sleeping_schedule(n, 10, 1 + rng.below(3), rng);
+    const std::size_t certified = core::requirement1_certificate_degree(s);
+    const std::size_t exact = core::max_transparent_degree_exact(s, n - 1);
+    EXPECT_LE(certified, exact);
+  }
+}
+
+TEST(Certificate, ZeroWhenSomeNodeNeverTransmits) {
+  std::vector<core::DynamicBitset> t = {core::DynamicBitset(3, {0}),
+                                        core::DynamicBitset(3, {1})};
+  const Schedule s = Schedule::non_sleeping(3, std::move(t));  // node 2 never
+  EXPECT_EQ(core::requirement1_certificate_degree(s), 0u);
+}
+
+TEST(MaxDegree, MatchesKnownDesignPoints) {
+  // poly(3,1) full family: transparent exactly up to D = 2.
+  const Schedule s = core::non_sleeping_from_family(comb::polynomial_family(3, 1, 9));
+  EXPECT_EQ(core::max_transparent_degree_exact(s, 8), 2u);
+  // TDMA n=6: up to 5.
+  const Schedule tdma = core::non_sleeping_from_family(comb::tdma_family(6));
+  EXPECT_EQ(core::max_transparent_degree_exact(tdma, 5), 5u);
+}
+
+TEST(MaxDegree, ZeroForBrokenSchedule) {
+  // One node hogs every slot: nobody else ever gets a free slot w.r.t. it.
+  std::vector<core::DynamicBitset> t = {core::DynamicBitset(3, {0, 1}),
+                                        core::DynamicBitset(3, {0, 2})};
+  const Schedule s = Schedule::non_sleeping(3, std::move(t));
+  EXPECT_EQ(core::max_transparent_degree_exact(s, 2), 0u);
+}
+
+// --------------------------------------------------------------- S-MAC-like
+
+TEST(SmacLike, AwakeFractionMatchesActiveWindow) {
+  sim::CommonActivePeriodMac mac(16, 20, 5, 0.1);
+  EXPECT_DOUBLE_EQ(mac.duty_cycle(), 0.25);
+  sim::BernoulliTraffic traffic(16, 0.0005);
+  util::Xoshiro256 rng(5);
+  sim::Simulator sim(net::random_bounded_degree_graph(16, 3, 30, rng), mac, traffic,
+                     {.seed = 5});
+  sim.run(8000);
+  EXPECT_NEAR(sim.stats().awake_fraction(), 0.25, 0.02);
+  EXPECT_GT(sim.stats().delivered, 0u);
+}
+
+TEST(SmacLike, NeverTransmitsOutsideActiveWindow) {
+  sim::CommonActivePeriodMac mac(4, 10, 3, 1.0);
+  util::Xoshiro256 rng(1);
+  for (std::uint64_t slot = 0; slot < 50; ++slot) {
+    mac.begin_slot(slot, rng);
+    const bool active = slot % 10 < 3;
+    for (std::size_t v = 0; v < 4; ++v) {
+      EXPECT_EQ(mac.can_receive(v), active);
+      EXPECT_EQ(mac.wants_transmit(v, (v + 1) % 4), active);
+      EXPECT_EQ(mac.idle_state(v) == sim::RadioState::kListen, active);
+    }
+  }
+}
+
+TEST(SmacLike, ContentionConcentratesCollisions) {
+  // §1's warning: squeezing traffic into one active window makes collisions
+  // likely. Same offered load, same duty cycle: S-MAC-like collides far
+  // more than the TT duty-cycled schedule on the worst-case star.
+  const std::size_t n = 25, d = 4;
+  const Schedule base = core::non_sleeping_from_family(comb::polynomial_family(5, 1, n));
+  const Schedule duty = core::construct_duty_cycled(base, d, 5, 5);
+
+  net::Graph star(n);
+  std::vector<std::pair<std::size_t, std::size_t>> flows;
+  for (std::size_t leaf = 1; leaf <= d; ++leaf) {
+    star.add_edge(0, leaf);
+    flows.emplace_back(leaf, 0);
+  }
+
+  sim::DutyCycledScheduleMac tt(duty);
+  sim::Simulator* p1 = nullptr;
+  sim::SaturatedFlows f1(flows, [&p1](std::size_t v) { return p1->queue_size(v); });
+  sim::Simulator s1(star, tt, f1, {.seed = 9});
+  p1 = &s1;
+  s1.run(10000);
+
+  // Match the TT schedule's duty cycle with the common-active-window MAC.
+  const std::size_t frame = 20;
+  const auto active = static_cast<std::size_t>(duty.duty_cycle() * frame + 0.5);
+  sim::CommonActivePeriodMac smac(n, frame, std::max<std::size_t>(active, 1), 0.5);
+  sim::Simulator* p2 = nullptr;
+  sim::SaturatedFlows f2(flows, [&p2](std::size_t v) { return p2->queue_size(v); });
+  sim::Simulator s2(star, smac, f2, {.seed = 9});
+  p2 = &s2;
+  s2.run(10000);
+
+  EXPECT_GT(s1.stats().delivered, 0u);
+  EXPECT_GT(s2.stats().collisions, 2 * s1.stats().collisions);
+  EXPECT_GT(s1.stats().delivered, s2.stats().delivered);
+}
+
+}  // namespace
+}  // namespace ttdc

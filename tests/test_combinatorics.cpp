@@ -1,0 +1,325 @@
+// Cover-free families: set-family machinery, the construction zoo, and the
+// (n, D) -> plan selector.
+#include <gtest/gtest.h>
+
+#include "combinatorics/constructions.hpp"
+#include "combinatorics/params.hpp"
+#include "combinatorics/set_family.hpp"
+#include "util/binomial.hpp"
+
+namespace ttdc::comb {
+namespace {
+
+using util::DynamicBitset;
+
+SetFamily make_family(std::size_t universe,
+                      std::initializer_list<std::initializer_list<std::size_t>> members) {
+  std::vector<DynamicBitset> sets;
+  for (const auto& m : members) {
+    DynamicBitset b(universe);
+    for (std::size_t v : m) b.set(v);
+    sets.push_back(std::move(b));
+  }
+  return SetFamily(universe, std::move(sets));
+}
+
+// ------------------------------------------------------------- set family
+
+TEST(SetFamily, SizeStatistics) {
+  const auto f = make_family(6, {{0, 1, 2}, {2, 3}, {4, 5, 0, 1}});
+  EXPECT_EQ(f.num_members(), 3u);
+  EXPECT_EQ(f.min_set_size(), 2u);
+  EXPECT_EQ(f.max_set_size(), 4u);
+  EXPECT_EQ(f.max_pairwise_intersection(), 2u);  // {0,1,2} vs {4,5,0,1}
+}
+
+TEST(SetFamily, CertificateMatchesDefinition) {
+  // Disjoint singletons: certificate says cover-free for any D.
+  const auto tdma = tdma_family(5);
+  EXPECT_EQ(tdma.cover_free_degree_certificate(), 4u);
+  // Sets of size 3 with pairwise intersections <= 1: certificate D = 2.
+  const auto f = make_family(9, {{0, 1, 2}, {2, 3, 4}, {4, 5, 0}, {6, 7, 8}});
+  EXPECT_EQ(f.max_pairwise_intersection(), 1u);
+  EXPECT_EQ(f.cover_free_degree_certificate(), 2u);
+}
+
+TEST(SetFamily, ExactCheckerFindsPlantedViolation) {
+  // Member 0 = {0, 1} is covered by {0, 2} ∪ {1, 3}.
+  const auto f = make_family(4, {{0, 1}, {0, 2}, {1, 3}});
+  const auto violation = find_cover_violation_exact(f, 2);
+  ASSERT_TRUE(violation);
+  EXPECT_EQ(violation->member, 0u);
+  // But no single member covers another: 1-cover-free.
+  EXPECT_FALSE(find_cover_violation_exact(f, 1));
+}
+
+TEST(SetFamily, GreedyFindsPlantedViolation) {
+  const auto f = make_family(4, {{0, 1}, {0, 2}, {1, 3}});
+  EXPECT_TRUE(find_cover_violation_greedy(f, 2));
+}
+
+TEST(SetFamily, SamplerFindsEasyViolation) {
+  // Member 0's set is a subset of member 1's set: violated even at D = 1.
+  const auto f = make_family(4, {{0}, {0, 1}, {2, 3}});
+  util::Xoshiro256 rng(1);
+  EXPECT_TRUE(find_cover_violation_sampled(f, 1, 200, rng));
+}
+
+TEST(SetFamily, CheckersAgreeOnCleanFamily) {
+  const auto f = tdma_family(8);
+  util::Xoshiro256 rng(2);
+  EXPECT_FALSE(find_cover_violation_exact(f, 3));
+  EXPECT_FALSE(find_cover_violation_greedy(f, 3));
+  EXPECT_FALSE(find_cover_violation_sampled(f, 3, 500, rng));
+}
+
+TEST(SetFamily, TruncatedKeepsPrefix) {
+  const auto f = tdma_family(6).truncated(3);
+  EXPECT_EQ(f.num_members(), 3u);
+  EXPECT_EQ(f.universe_size(), 6u);
+  EXPECT_TRUE(f.set_of(2).test(2));
+}
+
+// ------------------------------------------------------- polynomial codes
+
+class PolynomialFamilyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(PolynomialFamilyTest, StructureAndCoverFreeness) {
+  const auto [q, k] = GetParam();
+  const std::size_t count =
+      std::min<std::size_t>(polynomial_family_capacity(q, k), 64);
+  const auto f = polynomial_family(q, k, count);
+  EXPECT_EQ(f.universe_size(), static_cast<std::size_t>(q) * q);
+  EXPECT_EQ(f.num_members(), count);
+  // Every member set has exactly q slots, one per subframe.
+  for (std::size_t x = 0; x < count; ++x) {
+    EXPECT_EQ(f.set_of(x).count(), q);
+  }
+  // Pairwise intersections <= k (distinct polys agree on <= k points).
+  EXPECT_LE(f.max_pairwise_intersection(), k);
+  // Cover-free for D = (q-1)/k, verified exactly.
+  const std::size_t d = (q - 1) / k;
+  EXPECT_FALSE(find_cover_violation_exact(f, d)) << "q=" << q << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PolynomialFamilyTest,
+                         ::testing::Values(std::make_tuple(3u, 1u), std::make_tuple(4u, 1u),
+                                           std::make_tuple(5u, 1u), std::make_tuple(5u, 2u),
+                                           std::make_tuple(7u, 2u), std::make_tuple(7u, 3u),
+                                           std::make_tuple(8u, 2u), std::make_tuple(9u, 2u),
+                                           std::make_tuple(11u, 3u)));
+
+TEST(PolynomialFamily, CapacityIsQToKPlus1) {
+  EXPECT_EQ(polynomial_family_capacity(5, 1), 25u);
+  EXPECT_EQ(polynomial_family_capacity(5, 2), 125u);
+  EXPECT_EQ(polynomial_family_capacity(7, 3), 2401u);
+}
+
+TEST(PolynomialFamily, RejectsBadParameters) {
+  EXPECT_THROW(polynomial_family(5, 0, 5), std::invalid_argument);
+  EXPECT_THROW(polynomial_family(5, 5, 5), std::invalid_argument);
+  EXPECT_THROW(polynomial_family(5, 1, 26), std::invalid_argument);
+  EXPECT_THROW(polynomial_family(6, 1, 5), std::invalid_argument);  // 6 not prime power
+}
+
+class TruncatedPolyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(TruncatedPolyTest, ShorterFrameSameGuarantee) {
+  const auto [q, k, d] = GetParam();
+  const std::uint32_t columns = k * d + 1;
+  ASSERT_LE(columns, q);
+  const std::size_t count = std::min<std::size_t>(polynomial_family_capacity(q, k), 50);
+  const auto f = truncated_polynomial_family(q, k, columns, count);
+  EXPECT_EQ(f.universe_size(), static_cast<std::size_t>(columns) * q);
+  for (std::size_t m = 0; m < count; ++m) EXPECT_EQ(f.set_of(m).count(), columns);
+  EXPECT_LE(f.max_pairwise_intersection(), k);
+  EXPECT_FALSE(find_cover_violation_exact(f, d)) << "q=" << q << " k=" << k << " D=" << d;
+  // The frame really is shorter than the full polynomial family's q^2
+  // whenever columns < q.
+  if (columns < q) {
+    EXPECT_LT(f.universe_size(), static_cast<std::size_t>(q) * q);
+  }
+  // And the guarantee is tight: one more covering member can erase the
+  // single slack-free slot, i.e. D+1 must fail for the full family.
+  if (count == polynomial_family_capacity(q, k) ||
+      count >= static_cast<std::size_t>(q) * q) {
+    EXPECT_TRUE(find_cover_violation_exact(f, d + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TruncatedPolyTest,
+                         ::testing::Values(std::make_tuple(5u, 1u, 2u),
+                                           std::make_tuple(5u, 1u, 3u),
+                                           std::make_tuple(7u, 1u, 2u),
+                                           std::make_tuple(7u, 2u, 3u),
+                                           std::make_tuple(9u, 2u, 3u),
+                                           std::make_tuple(11u, 2u, 4u)));
+
+TEST(TruncatedPoly, RejectsBadColumnCounts) {
+  EXPECT_THROW(truncated_polynomial_family(5, 2, 2, 10), std::invalid_argument);  // cols <= k
+  EXPECT_THROW(truncated_polynomial_family(5, 1, 6, 10), std::invalid_argument);  // cols > q
+}
+
+TEST(TruncatedPoly, PlannerPicksItWhenItWins) {
+  // n = 25, D = 3 (no Steiner option): full polynomial/affine frames are
+  // 25; the truncated OA with q=5, k=1, cols=4 gives frame 20.
+  const auto plan = best_plan(25, 3);
+  EXPECT_EQ(plan.kind, FamilyKind::kTruncatedPolynomial);
+  EXPECT_EQ(plan.frame_length, 20u);
+  const auto family = build_plan(plan, 25);
+  EXPECT_FALSE(find_cover_violation_exact(family, 3));
+  // At D = 2 the Steiner triple system's frame 13 still wins: the planner
+  // keeps both options honest.
+  EXPECT_EQ(best_plan(25, 2).kind, FamilyKind::kSteinerTriple);
+}
+
+TEST(PolynomialFamily, BeyondDesignDegreeAViolationExists) {
+  // At D > (q-1)/k cover-freeness must eventually fail for the full family
+  // (sharpness of the bound). q=3, k=1: D=2 holds, D=3 must fail somewhere.
+  const auto f = polynomial_family(3, 1, 9);
+  EXPECT_FALSE(find_cover_violation_exact(f, 2));
+  EXPECT_TRUE(find_cover_violation_exact(f, 3));
+}
+
+// ----------------------------------------------------------------- planes
+
+class PlaneTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PlaneTest, AffinePlaneAxioms) {
+  const std::uint32_t q = GetParam();
+  const auto f = affine_plane_family(q);
+  EXPECT_EQ(f.num_members(), static_cast<std::size_t>(q) * q + q);
+  EXPECT_EQ(f.universe_size(), static_cast<std::size_t>(q) * q);
+  for (std::size_t i = 0; i < f.num_members(); ++i) EXPECT_EQ(f.set_of(i).count(), q);
+  EXPECT_LE(f.max_pairwise_intersection(), 1u);
+  // Every pair of points lies on exactly one line.
+  const std::size_t pairs_covered =
+      f.num_members() * (static_cast<std::size_t>(q) * (q - 1) / 2);
+  const std::size_t total_pairs = f.universe_size() * (f.universe_size() - 1) / 2;
+  EXPECT_EQ(pairs_covered, total_pairs);
+  // The (w, λ) certificate IS a proof here (w = q, λ = 1 -> D <= q-1);
+  // exhaustive enumeration blows up combinatorially beyond q = 4, so keep
+  // it as an independent cross-check on the small orders only.
+  EXPECT_EQ(f.cover_free_degree_certificate(), static_cast<std::size_t>(q) - 1);
+  if (q <= 4) {
+    EXPECT_FALSE(find_cover_violation_exact(f, q - 1));
+  } else {
+    EXPECT_FALSE(find_cover_violation_greedy(f, q - 1));
+  }
+}
+
+TEST_P(PlaneTest, ProjectivePlaneAxioms) {
+  const std::uint32_t q = GetParam();
+  const auto f = projective_plane_family(q);
+  const std::size_t expected = static_cast<std::size_t>(q) * q + q + 1;
+  EXPECT_EQ(f.num_members(), expected);
+  EXPECT_EQ(f.universe_size(), expected);
+  for (std::size_t i = 0; i < f.num_members(); ++i) {
+    EXPECT_EQ(f.set_of(i).count(), static_cast<std::size_t>(q) + 1);
+  }
+  // Two distinct lines meet in exactly one point.
+  for (std::size_t i = 0; i < f.num_members(); ++i) {
+    for (std::size_t j = i + 1; j < f.num_members(); ++j) {
+      EXPECT_EQ(f.set_of(i).intersection_count(f.set_of(j)), 1u);
+    }
+  }
+  // Certificate proof: w = q+1, λ = 1 -> D <= q. Exhaustive check only
+  // where it is tractable.
+  EXPECT_EQ(f.cover_free_degree_certificate(), static_cast<std::size_t>(q));
+  if (q <= 4) {
+    EXPECT_FALSE(find_cover_violation_exact(f, q));
+  } else {
+    EXPECT_FALSE(find_cover_violation_greedy(f, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallOrders, PlaneTest, ::testing::Values(2u, 3u, 4u, 5u, 7u));
+
+// ---------------------------------------------------------------- steiner
+
+class SteinerTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SteinerTest, IsASteinerTripleSystem) {
+  const std::uint32_t v = GetParam();
+  const auto f = steiner_triple_family(v);
+  EXPECT_EQ(f.num_members(), static_cast<std::size_t>(v) * (v - 1) / 6);
+  EXPECT_EQ(f.universe_size(), v);
+  EXPECT_TRUE(is_steiner_triple_system(f)) << "v=" << v;
+}
+
+TEST_P(SteinerTest, TwoCoverFree) {
+  const auto f = steiner_triple_family(GetParam());
+  // Blocks have 3 points and pairwise intersections <= 1: 2-cover-free.
+  EXPECT_LE(f.max_pairwise_intersection(), 1u);
+  if (f.num_members() <= 60) {
+    EXPECT_FALSE(find_cover_violation_exact(f, 2));
+  }
+}
+
+// Covers both residue classes: Bose (3 mod 6) and Skolem (1 mod 6).
+INSTANTIATE_TEST_SUITE_P(BothResidues, SteinerTest,
+                         ::testing::Values(7u, 9u, 13u, 15u, 19u, 21u, 25u, 27u, 31u, 33u));
+
+TEST(Steiner, RejectsInvalidOrders) {
+  EXPECT_THROW(steiner_triple_family(6), std::invalid_argument);
+  EXPECT_THROW(steiner_triple_family(8), std::invalid_argument);
+  EXPECT_THROW(steiner_triple_family(11), std::invalid_argument);
+  EXPECT_THROW(steiner_triple_family(3), std::invalid_argument);
+}
+
+TEST(Tdma, SingletonsAreMaximallyCoverFree) {
+  const auto f = tdma_family(10);
+  EXPECT_EQ(f.num_members(), 10u);
+  EXPECT_EQ(f.max_pairwise_intersection(), 0u);
+  EXPECT_FALSE(find_cover_violation_exact(f, 9));
+}
+
+// ------------------------------------------------------------------ plans
+
+TEST(Params, BestPlanBeatsTdmaWhenDesignsHelp) {
+  // n=121, D=2: polynomial q=5, k=2 gives frame 25 << 121.
+  const auto plan = best_plan(121, 2);
+  EXPECT_LT(plan.frame_length, 121u);
+}
+
+TEST(Params, TdmaWinsForDenseSmallNetworks) {
+  // n=10, D=5: any CFF needs a large field; TDMA frame 10 is best.
+  const auto plan = best_plan(10, 5);
+  EXPECT_EQ(plan.kind, FamilyKind::kTdma);
+  EXPECT_EQ(plan.frame_length, 10u);
+}
+
+TEST(Params, PlansAreSortedAndFeasible) {
+  const auto plans = enumerate_plans(50, 3, 10000);
+  ASSERT_FALSE(plans.empty());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_GE(plans[i].capacity, 50u);
+    EXPECT_GE(plans[i].max_degree, 3u);
+    if (i > 0) { EXPECT_GE(plans[i].frame_length, plans[i - 1].frame_length); }
+  }
+}
+
+class PlanBuildTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PlanBuildTest, BuiltPlanIsCoverFreeForRequestedDegree) {
+  const auto [n, d] = GetParam();
+  const auto plan = best_plan(n, d);
+  const auto family = build_plan(plan, n);
+  EXPECT_EQ(family.num_members(), n);
+  EXPECT_EQ(family.universe_size(), plan.frame_length);
+  // The exact check is the real assertion here.
+  EXPECT_FALSE(find_cover_violation_exact(family, d)) << plan.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PlanBuildTest,
+                         ::testing::Values(std::make_tuple(10u, 2u), std::make_tuple(25u, 2u),
+                                           std::make_tuple(25u, 3u), std::make_tuple(40u, 2u),
+                                           std::make_tuple(40u, 4u), std::make_tuple(60u, 3u),
+                                           std::make_tuple(16u, 5u)));
+
+}  // namespace
+}  // namespace ttdc::comb

@@ -1,0 +1,197 @@
+// Galois fields: primality utilities and field axioms, parameterized over
+// prime and prime-power orders.
+#include "gf/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ttdc::gf {
+namespace {
+
+TEST(Primes, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+  EXPECT_TRUE(is_prime(7919));
+}
+
+TEST(Primes, LargeValues) {
+  EXPECT_TRUE(is_prime(2147483647ull));          // 2^31 - 1 (Mersenne)
+  EXPECT_FALSE(is_prime(2147483647ull * 3));
+  EXPECT_TRUE(is_prime(1000000007ull));
+  EXPECT_FALSE(is_prime(1000000007ull * 1000000009ull % 4294967291ull * 0 + 25));
+}
+
+TEST(Primes, NextPrime) {
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(8), 11u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(7920), 7927u);
+}
+
+TEST(Primes, PrimePowerDecompose) {
+  auto pp = prime_power_decompose(8);
+  ASSERT_TRUE(pp);
+  EXPECT_EQ(pp->first, 2u);
+  EXPECT_EQ(pp->second, 3u);
+  pp = prime_power_decompose(81);
+  ASSERT_TRUE(pp);
+  EXPECT_EQ(pp->first, 3u);
+  EXPECT_EQ(pp->second, 4u);
+  pp = prime_power_decompose(7);
+  ASSERT_TRUE(pp);
+  EXPECT_EQ(pp->first, 7u);
+  EXPECT_EQ(pp->second, 1u);
+  EXPECT_FALSE(prime_power_decompose(6));
+  EXPECT_FALSE(prime_power_decompose(12));
+  EXPECT_FALSE(prime_power_decompose(100));  // 2^2 * 5^2
+  EXPECT_FALSE(prime_power_decompose(1));
+}
+
+TEST(Primes, NextPrimePower) {
+  EXPECT_EQ(next_prime_power(2), 2u);
+  EXPECT_EQ(next_prime_power(6), 7u);
+  EXPECT_EQ(next_prime_power(8), 8u);
+  EXPECT_EQ(next_prime_power(10), 11u);
+  EXPECT_EQ(next_prime_power(26), 27u);
+}
+
+TEST(Irreducible, KnownDegree2OverGf2) {
+  // x^2 + x + 1 is the only irreducible quadratic over GF(2).
+  const auto f = find_irreducible(2, 2);
+  EXPECT_EQ(f, (std::vector<std::uint32_t>{1, 1, 1}));
+}
+
+TEST(Irreducible, HasNoRootsInBaseField) {
+  for (std::uint32_t p : {2u, 3u, 5u, 7u}) {
+    for (std::uint32_t m : {2u, 3u}) {
+      const auto f = find_irreducible(p, m);
+      ASSERT_EQ(f.size(), m + 1);
+      EXPECT_EQ(f[m], 1u);  // monic
+      GaloisField base(p);
+      for (std::uint32_t x = 0; x < p; ++x) {
+        EXPECT_NE(eval_poly(base, f, x), 0u)
+            << "irreducible poly has root " << x << " over GF(" << p << ")";
+      }
+    }
+  }
+}
+
+TEST(Field, RejectsNonPrimePowers) {
+  EXPECT_THROW(GaloisField(6), std::invalid_argument);
+  EXPECT_THROW(GaloisField(1), std::invalid_argument);
+  EXPECT_THROW(GaloisField(12), std::invalid_argument);
+}
+
+class FieldAxioms : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FieldAxioms, AdditionGroup) {
+  const GaloisField f(GetParam());
+  const std::uint32_t q = f.q();
+  for (std::uint32_t a = 0; a < q; ++a) {
+    EXPECT_EQ(f.add(a, 0), a);                  // identity
+    EXPECT_EQ(f.add(a, f.neg(a)), 0u);          // inverse
+    for (std::uint32_t b = 0; b < q; ++b) {
+      EXPECT_EQ(f.add(a, b), f.add(b, a));      // commutativity
+      EXPECT_EQ(f.sub(f.add(a, b), b), a);      // sub inverts add
+    }
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationGroup) {
+  const GaloisField f(GetParam());
+  const std::uint32_t q = f.q();
+  for (std::uint32_t a = 0; a < q; ++a) {
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.mul(a, 0), 0u);
+    if (a != 0) { EXPECT_EQ(f.mul(a, f.inv(a)), 1u); }
+    for (std::uint32_t b = 0; b < q; ++b) {
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    }
+  }
+}
+
+TEST_P(FieldAxioms, AssociativityAndDistributivity) {
+  const GaloisField f(GetParam());
+  const std::uint32_t q = f.q();
+  // Full triple loop is O(q^3); keep q small in the parameter list.
+  for (std::uint32_t a = 0; a < q; ++a) {
+    for (std::uint32_t b = 0; b < q; ++b) {
+      for (std::uint32_t c = 0; c < q; ++c) {
+        EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationByNonzeroIsBijective) {
+  const GaloisField f(GetParam());
+  const std::uint32_t q = f.q();
+  for (std::uint32_t a = 1; a < q; ++a) {
+    std::set<std::uint32_t> image;
+    for (std::uint32_t b = 0; b < q; ++b) image.insert(f.mul(a, b));
+    EXPECT_EQ(image.size(), q);
+  }
+}
+
+TEST_P(FieldAxioms, FermatLittleTheoremGeneralized) {
+  // a^q == a for all a in GF(q).
+  const GaloisField f(GetParam());
+  for (std::uint32_t a = 0; a < f.q(); ++a) {
+    EXPECT_EQ(f.pow(a, f.q()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimeAndPrimePower, FieldAxioms,
+                         ::testing::Values(2u, 3u, 4u, 5u, 7u, 8u, 9u, 11u, 13u, 16u, 25u,
+                                           27u));
+
+TEST(Field, LargePrimeFieldWorksWithoutTables) {
+  const GaloisField f(7919);
+  EXPECT_TRUE(f.is_prime_field());
+  EXPECT_EQ(f.mul(7918, 7918), 1u);  // (-1)^2
+  EXPECT_EQ(f.mul(123, f.inv(123)), 1u);
+  EXPECT_EQ(f.pow(2, 7918), 1u);  // Fermat
+}
+
+TEST(Field, PolyEvalHorner) {
+  const GaloisField f(5);
+  // p(x) = 3 + 2x + x^2 over GF(5); p(2) = 3 + 4 + 4 = 11 = 1.
+  const std::vector<std::uint32_t> coeffs = {3, 2, 1};
+  EXPECT_EQ(eval_poly(f, coeffs, 2), 1u);
+  EXPECT_EQ(eval_poly(f, coeffs, 0), 3u);
+}
+
+TEST(Field, DistinctLowDegreePolysAgreeOnFewPoints) {
+  // The cover-freeness engine: two distinct degree-<=k polynomials agree on
+  // at most k points. Check exhaustively for GF(7), k=2.
+  const GaloisField f(7);
+  const std::uint32_t q = 7, k = 2;
+  std::vector<std::vector<std::uint32_t>> polys;
+  for (std::uint32_t c0 = 0; c0 < q; ++c0) {
+    for (std::uint32_t c1 = 0; c1 < q; ++c1) {
+      for (std::uint32_t c2 = 0; c2 < q; ++c2) {
+        polys.push_back({c0, c1, c2});
+      }
+    }
+  }
+  for (std::size_t i = 0; i < polys.size(); i += 17) {    // stride: keep runtime sane
+    for (std::size_t j = i + 1; j < polys.size(); j += 13) {
+      std::uint32_t agreements = 0;
+      for (std::uint32_t x = 0; x < q; ++x) {
+        if (eval_poly(f, polys[i], x) == eval_poly(f, polys[j], x)) ++agreements;
+      }
+      EXPECT_LE(agreements, k);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ttdc::gf

@@ -1,0 +1,172 @@
+// End-to-end pipelines: plan -> family -> non-sleeping schedule ->
+// Construct -> verification -> simulation; analytics vs simulator cross-
+// checks; topology churn with a fixed schedule.
+#include <gtest/gtest.h>
+
+#include "combinatorics/constructions.hpp"
+#include "combinatorics/params.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "core/requirements.hpp"
+#include "core/throughput.hpp"
+#include "net/topology.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+
+namespace ttdc {
+namespace {
+
+using core::Schedule;
+
+struct Pipeline {
+  std::size_t n, d, alpha_t, alpha_r;
+};
+
+class PipelineTest : public ::testing::TestWithParam<Pipeline> {};
+
+TEST_P(PipelineTest, EndToEnd) {
+  const auto [n, d, at, ar] = GetParam();
+  // 1. Plan and build a cover-free family, verified exactly.
+  const auto plan = comb::best_plan(n, d);
+  const auto family = comb::build_plan(plan, n);
+  ASSERT_FALSE(comb::find_cover_violation_exact(family, d)) << plan.to_string();
+
+  // 2. The induced non-sleeping schedule satisfies Requirement 1.
+  const Schedule base = core::non_sleeping_from_family(family);
+  ASSERT_FALSE(core::check_requirement1_exact(base, d));
+
+  // 3. Construct the duty-cycled schedule; Requirement 3 holds; caps hold.
+  const Schedule duty = core::construct_duty_cycled(base, d, at, ar);
+  ASSERT_FALSE(core::check_requirement3_exact(duty, d));
+  ASSERT_TRUE(duty.is_alpha_schedule(at, ar));
+
+  // 4. Theorem chain: Thr_ave(duty) <= Theorem 4 bound <= Theorem 3 bound
+  //    at αR = n - αT*.
+  const long double ave = core::average_throughput(duty, d);
+  const long double t4 = core::throughput_upper_bound_alpha(n, d, at, ar);
+  EXPECT_LE(static_cast<double>(ave), static_cast<double>(t4) + 1e-12);
+
+  // 5. Simulate every bounded-degree link of a random topology for several
+  //    frames: every link must see at least one delivery per frame on the
+  //    worst-case star (the topology-transparency promise, empirically).
+  util::Xoshiro256 rng(n * 1000 + d);
+  for (std::size_t x = 1; x <= d; ++x) {
+    net::Graph star(n);
+    for (std::size_t leaf = 1; leaf <= d; ++leaf) star.add_edge(0, leaf);
+    sim::DutyCycledScheduleMac mac(duty);
+    sim::Simulator* sim_ptr = nullptr;
+    std::vector<std::pair<std::size_t, std::size_t>> flows;
+    for (std::size_t leaf = 1; leaf <= d; ++leaf) flows.emplace_back(leaf, 0);
+    sim::SaturatedFlows traffic(std::move(flows),
+                                [&sim_ptr](std::size_t v) { return sim_ptr->queue_size(v); });
+    sim::Simulator simulator(std::move(star), mac, traffic, {.seed = x});
+    sim_ptr = &simulator;
+    const std::uint64_t frames = 5;
+    simulator.run(frames * duty.frame_length());
+    EXPECT_GE(simulator.stats().delivered_by_origin[x], frames)
+        << "link " << x << " -> 0 starved under worst case";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineTest,
+                         ::testing::Values(Pipeline{9, 2, 2, 3}, Pipeline{16, 3, 3, 6},
+                                           Pipeline{25, 2, 4, 8}, Pipeline{20, 4, 2, 8},
+                                           Pipeline{30, 3, 5, 10}, Pipeline{12, 2, 2, 4},
+                                           Pipeline{36, 2, 6, 12}, Pipeline{18, 5, 2, 6},
+                                           Pipeline{40, 3, 4, 10}));
+
+TEST(Integration, SimulatedWorstCaseMatchesMinThroughputAnalysis) {
+  // The empirical minimum over all (x, y, S) star simulations equals the
+  // analytic min_guaranteed_slots (checked on a small instance where full
+  // enumeration is cheap).
+  const std::size_t n = 9, d = 2;
+  const Schedule base =
+      core::non_sleeping_from_family(comb::build_plan(comb::best_plan(n, d), n));
+  const std::size_t analytic = core::min_guaranteed_slots_exact(base, d);
+  ASSERT_GT(analytic, 0u);
+
+  std::uint64_t empirical_min = ~0ull;
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      if (x == y) continue;
+      for (std::size_t z = 0; z < n; ++z) {
+        if (z == x || z == y) continue;
+        net::Graph star(n);
+        star.add_edge(y, x);
+        star.add_edge(y, z);
+        sim::DutyCycledScheduleMac mac(base);
+        sim::Simulator* sim_ptr = nullptr;
+        sim::SaturatedFlows traffic(
+            {{x, y}, {z, y}},
+            [&sim_ptr](std::size_t v) { return sim_ptr->queue_size(v); });
+        sim::Simulator simulator(std::move(star), mac, traffic, {.seed = 42});
+        sim_ptr = &simulator;
+        simulator.run(base.frame_length());
+        empirical_min = std::min(empirical_min, simulator.stats().delivered_by_origin[x]);
+      }
+    }
+  }
+  EXPECT_EQ(empirical_min, analytic);
+}
+
+TEST(Integration, FixedScheduleSurvivesChurnColoringTdmaDegrades) {
+  // Mobility churn: the TT schedule (built once, topology-blind) keeps
+  // delivering after every topology change with zero reconfiguration,
+  // while the coloring TDMA must recolor on every change (counted by its
+  // recolor_count) to stay valid.
+  const std::size_t n = 24, d = 3;
+  const Schedule duty = core::construct_duty_cycled(
+      core::non_sleeping_from_family(comb::build_plan(comb::best_plan(n, d), n)), d, 3, 8);
+
+  net::MobilityModel mobility(n, 0.35, d, 0.15, 77);
+  net::Graph g = mobility.step();
+
+  sim::DutyCycledScheduleMac tt_mac(duty);
+  sim::BernoulliTraffic tt_traffic(n, 0.01);
+  sim::Simulator tt(g, tt_mac, tt_traffic, {.seed = 1});
+
+  sim::ColoringTdmaMac col_mac(g);  // colored for the INITIAL topology only
+  sim::BernoulliTraffic col_traffic(n, 0.01);
+  sim::Simulator col(g, col_mac, col_traffic, {.seed = 1});
+
+  std::uint64_t tt_last = 0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    tt.run(3000);
+    col.run(3000);
+    EXPECT_GT(tt.stats().delivered, tt_last);
+    tt_last = tt.stats().delivered;
+    const net::Graph next = mobility.step();
+    tt.set_graph(next);
+    col.set_graph(next);
+  }
+  EXPECT_EQ(col_mac.recolor_count(), 6u);  // had to rebuild after every change
+}
+
+TEST(Integration, TheoremChainConsistencyAcrossFamilies) {
+  // For every family in the zoo at its design point: Requirement 1 holds,
+  // min throughput > 0, average <= Theorem 3 bound.
+  struct Entry {
+    comb::SetFamily family;
+    std::size_t d;
+    const char* name;
+  };
+  std::vector<Entry> zoo;
+  zoo.push_back(Entry{comb::polynomial_family(4, 1, 16), 3, "poly(4,1)"});
+  zoo.push_back(Entry{comb::affine_plane_family(3), 2, "affine(3)"});
+  zoo.push_back(Entry{comb::projective_plane_family(3), 3, "projective(3)"});
+  zoo.push_back(Entry{comb::steiner_triple_family(13), 2, "sts(13)"});
+  zoo.push_back(Entry{comb::tdma_family(12), 5, "tdma(12)"});
+  for (const auto& entry : zoo) {
+    const Schedule s = core::non_sleeping_from_family(entry.family);
+    EXPECT_FALSE(core::check_requirement1_exact(s, entry.d)) << entry.name;
+    EXPECT_GT(core::min_guaranteed_slots_exact(s, entry.d), 0u) << entry.name;
+    EXPECT_LE(
+        static_cast<double>(core::average_throughput(s, entry.d)),
+        static_cast<double>(core::throughput_upper_bound_general(s.num_nodes(), entry.d)) +
+            1e-12)
+        << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace ttdc

@@ -1,0 +1,117 @@
+// Graphs and topology generators.
+#include <gtest/gtest.h>
+
+#include "net/graph.hpp"
+#include "net/topology.hpp"
+
+namespace ttdc::net {
+namespace {
+
+TEST(Graph, EdgeBasics) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 1);  // idempotent
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.neighbor_list(1), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Graph, EdgesListsEachOnce) {
+  Graph g(4);
+  g.add_edge(2, 0);
+  g.add_edge(3, 1);
+  const auto e = g.edges();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0], (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(e[1], (std::pair<std::size_t, std::size_t>{1, 3}));
+}
+
+TEST(Graph, ConnectivityAndBfs) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.is_connected());
+  const auto dist = g.bfs_distances(0);
+  EXPECT_EQ(dist[4], 4u);
+  const auto parents = g.bfs_parents(4);
+  EXPECT_EQ(parents[0], 1u);
+  EXPECT_EQ(parents[4], 4u);
+}
+
+TEST(Topology, DeterministicShapes) {
+  EXPECT_EQ(path_graph(5).num_edges(), 4u);
+  EXPECT_EQ(ring_graph(5).num_edges(), 5u);
+  EXPECT_EQ(ring_graph(5).max_degree(), 2u);
+  EXPECT_EQ(star_graph(6).max_degree(), 5u);
+  EXPECT_EQ(grid_graph(3, 4).num_edges(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_TRUE(grid_graph(3, 4).is_connected());
+  EXPECT_EQ(mary_tree(7, 2).num_edges(), 6u);
+  EXPECT_TRUE(mary_tree(13, 3).is_connected());
+}
+
+TEST(Topology, WorstCaseStarShape) {
+  const Graph g = worst_case_star(4);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.degree(0), 4u);
+  for (std::size_t leaf = 1; leaf <= 4; ++leaf) EXPECT_EQ(g.degree(leaf), 1u);
+}
+
+TEST(Topology, RandomBoundedDegreeRespectsCap) {
+  util::Xoshiro256 rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 10 + static_cast<std::size_t>(rng.below(40));
+    const std::size_t d = 2 + static_cast<std::size_t>(rng.below(5));
+    const Graph g = random_bounded_degree_graph(n, d, n * 2, rng);
+    EXPECT_LE(g.max_degree(), d);
+    EXPECT_EQ(g.num_nodes(), n);
+  }
+}
+
+TEST(Topology, UnitDiskRespectsRadiusAndCap) {
+  util::Xoshiro256 rng(12);
+  const Positions pos = random_positions(60, rng);
+  const double radius = 0.25;
+  const std::size_t cap = 4;
+  const Graph g = unit_disk_graph(pos, radius, cap);
+  EXPECT_LE(g.max_degree(), cap);
+  for (const auto& [a, b] : g.edges()) {
+    const double dx = pos.x[a] - pos.x[b];
+    const double dy = pos.y[a] - pos.y[b];
+    EXPECT_LE(dx * dx + dy * dy, radius * radius + 1e-12);
+  }
+}
+
+TEST(Topology, MobilityKeepsNodesInUnitSquareAndCapHolds) {
+  MobilityModel model(30, 0.3, 3, 0.05, 99);
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    const Graph g = model.step();
+    EXPECT_LE(g.max_degree(), 3u);
+    for (std::size_t i = 0; i < 30; ++i) {
+      EXPECT_GE(model.positions().x[i], 0.0);
+      EXPECT_LE(model.positions().x[i], 1.0);
+      EXPECT_GE(model.positions().y[i], 0.0);
+      EXPECT_LE(model.positions().y[i], 1.0);
+    }
+  }
+}
+
+TEST(Topology, MobilityActuallyChangesTopology) {
+  MobilityModel model(25, 0.3, 4, 0.08, 7);
+  const Graph first = model.step();
+  bool changed = false;
+  for (int epoch = 0; epoch < 10 && !changed; ++epoch) {
+    const Graph g = model.step();
+    if (g.edges() != first.edges()) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+}  // namespace
+}  // namespace ttdc::net

@@ -1,0 +1,101 @@
+// Orthogonal arrays and the OA -> cover-free-family bridge (§2 of the
+// paper: the classical schedule constructions ARE OA constructions).
+#include "combinatorics/orthogonal_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "combinatorics/constructions.hpp"
+
+namespace ttdc::comb {
+namespace {
+
+TEST(OrthogonalArray, RejectsMalformedInput) {
+  EXPECT_THROW(OrthogonalArray(2, 2, 2, {0, 1, 0}), std::invalid_argument);  // bad count
+  EXPECT_THROW(OrthogonalArray(2, 2, 2, {0, 1, 0, 2}), std::invalid_argument);  // entry >= q
+  EXPECT_THROW(OrthogonalArray(0, 2, 2, {}), std::invalid_argument);
+  EXPECT_THROW(OrthogonalArray(2, 2, 1, {0, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(OrthogonalArray, HandBuiltStrength2) {
+  // The OA(4, 3, 2, 2): rows = polynomials a + bx over GF(2) on columns
+  // {0, 1} plus the coefficient b itself as a third column.
+  // 0 0 0 / 1 1 0 / 0 1 1 / 1 0 1 is the classical example.
+  const OrthogonalArray oa(4, 3, 2, {0, 0, 0, 1, 1, 0, 0, 1, 1, 1, 0, 1});
+  EXPECT_TRUE(oa.verify_strength(2));  // index 1
+  EXPECT_TRUE(oa.verify_strength(1));  // index 2
+  EXPECT_FALSE(oa.verify_strength(3));  // 2^3 does not divide 4
+}
+
+TEST(OrthogonalArray, DetectsBrokenStrength) {
+  // Duplicate a row: some pair must now repeat.
+  const OrthogonalArray oa(4, 3, 2, {0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 0, 1});
+  EXPECT_FALSE(oa.verify_strength(2));
+}
+
+class PolyOaTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(PolyOaTest, HasFullStrengthAndNotMore) {
+  const auto [q, t] = GetParam();
+  const OrthogonalArray oa = polynomial_orthogonal_array(q, t, q);
+  EXPECT_EQ(oa.levels(), q);
+  EXPECT_EQ(oa.num_columns(), q);
+  std::size_t rows = 1;
+  for (std::uint32_t i = 0; i < t; ++i) rows *= q;
+  EXPECT_EQ(oa.num_rows(), rows);
+  EXPECT_TRUE(oa.verify_strength(t)) << "q=" << q << " t=" << t;
+  // Strength t+1 requires q^(t+1) rows: must fail.
+  if (t + 1 <= oa.num_columns()) {
+    EXPECT_FALSE(oa.verify_strength(t + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PolyOaTest,
+                         ::testing::Values(std::make_tuple(2u, 1u), std::make_tuple(3u, 2u),
+                                           std::make_tuple(4u, 2u), std::make_tuple(5u, 2u),
+                                           std::make_tuple(5u, 3u), std::make_tuple(7u, 2u),
+                                           std::make_tuple(8u, 2u), std::make_tuple(9u, 3u)));
+
+TEST(OaToFamily, MatchesPolynomialFamilyConstruction) {
+  // With k = q columns and strength t, the OA adapter reproduces
+  // polynomial_family(q, t-1, .) set for set.
+  for (const auto& [q, t] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {3, 2}, {5, 2}, {5, 3}, {7, 2}}) {
+    const std::size_t count = 30 % (q * q) + 5;
+    const SetFamily via_oa =
+        oa_to_family(polynomial_orthogonal_array(q, t, q), count);
+    const SetFamily direct = polynomial_family(q, t - 1, count);
+    ASSERT_EQ(via_oa.num_members(), direct.num_members());
+    ASSERT_EQ(via_oa.universe_size(), direct.universe_size());
+    for (std::size_t m = 0; m < count; ++m) {
+      EXPECT_EQ(via_oa.set_of(m), direct.set_of(m)) << "q=" << q << " t=" << t << " m=" << m;
+    }
+  }
+}
+
+TEST(OaToFamily, CoverFreenessFollowsFromStrength) {
+  // OA strength t, k columns: two rows agree on <= t-1 columns, so the
+  // family is D-cover-free for D <= (k-1)/(t-1).
+  const OrthogonalArray oa = polynomial_orthogonal_array(7, 3, 7);
+  const SetFamily family = oa_to_family(oa, 49);
+  EXPECT_LE(family.max_pairwise_intersection(), 2u);
+  EXPECT_FALSE(find_cover_violation_exact(family, 3));
+}
+
+TEST(OaToFamily, RejectsTooManyMembers) {
+  const OrthogonalArray oa = polynomial_orthogonal_array(3, 2, 3);
+  EXPECT_THROW(oa_to_family(oa, 10), std::invalid_argument);
+}
+
+TEST(OaToFamily, FewerColumnsShrinkUniverse) {
+  // Using only k < q columns trades guarantee strength for frame length.
+  const OrthogonalArray oa = polynomial_orthogonal_array(5, 2, 3);
+  const SetFamily family = oa_to_family(oa, 25);
+  EXPECT_EQ(family.universe_size(), 15u);  // 3 columns x 5 levels
+  for (std::size_t m = 0; m < 25; ++m) EXPECT_EQ(family.set_of(m).count(), 3u);
+  // (k-1)/(t-1) = 2: still 2-cover-free even on 3 columns.
+  EXPECT_FALSE(find_cover_violation_exact(family, 2));
+}
+
+}  // namespace
+}  // namespace ttdc::comb

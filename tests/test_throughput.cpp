@@ -1,0 +1,258 @@
+// Throughput theory (§5): Theorem 2 vs brute force, g-properties, the
+// Theorem 3/4 bounds, and the min-throughput oracles.
+#include "core/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "combinatorics/constructions.hpp"
+#include "core/builders.hpp"
+
+namespace ttdc::core {
+namespace {
+
+// ------------------------------------------------ Theorem 2 vs brute force
+
+class Theorem2Formula
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(Theorem2Formula, MatchesBruteForceExactly) {
+  const auto [n, d, seed] = GetParam();
+  util::Xoshiro256 rng(seed);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t frame = 3 + static_cast<std::size_t>(rng.below(12));
+    const Schedule s = trial % 2 == 0
+                           ? random_alpha_schedule(n, frame, 1 + rng.below(n / 2),
+                                                   1 + rng.below(n / 2), false, rng)
+                           : random_non_sleeping_schedule(n, frame, 1 + rng.below(n - 1), rng);
+    const ExactFraction formula = average_throughput_exact(s, d);
+    const ExactFraction brute = average_throughput_bruteforce(s, d);
+    EXPECT_TRUE(formula.equals(brute))
+        << "n=" << n << " D=" << d << " formula=" << static_cast<double>(formula.value())
+        << " brute=" << static_cast<double>(brute.value());
+    // The long-double path agrees to tolerance.
+    EXPECT_NEAR(static_cast<double>(average_throughput(s, d)),
+                static_cast<double>(formula.value()), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSchedules, Theorem2Formula,
+    ::testing::Values(std::make_tuple(5u, 2u, 1u), std::make_tuple(6u, 2u, 2u),
+                      std::make_tuple(6u, 3u, 3u), std::make_tuple(7u, 2u, 4u),
+                      std::make_tuple(7u, 4u, 5u), std::make_tuple(8u, 3u, 6u),
+                      std::make_tuple(9u, 2u, 7u), std::make_tuple(10u, 3u, 8u)));
+
+TEST(Theorem2, HandDerivedValue) {
+  // n=3, D=1, L=1, T={0}, R={1,2}:
+  // F = |T| * |R| * C(n-|T|-1, 0) = 1 * 2 * 1 = 2.
+  // denominator n(n-1) C(1,0) L = 6. Thr_ave = 1/3.
+  std::vector<DynamicBitset> t = {DynamicBitset(3, {0})};
+  std::vector<DynamicBitset> r = {DynamicBitset(3, {1, 2})};
+  const Schedule s(3, std::move(t), std::move(r));
+  const auto f = average_throughput_exact(s, 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(f.num), 2u);
+  EXPECT_EQ(static_cast<std::uint64_t>(f.den), 6u);
+}
+
+TEST(Theorem2, DependsOnlyOnPerSlotCardinalities) {
+  // Two schedules with identical |T[i]|, |R[i]| profiles but different node
+  // assignments must have identical average throughput (the theorem's key
+  // structural claim).
+  util::Xoshiro256 rng(17);
+  const std::size_t n = 8, d = 3;
+  const Schedule a = random_alpha_schedule(n, 10, 3, 4, true, rng);
+  const Schedule b = random_alpha_schedule(n, 10, 3, 4, true, rng);
+  const auto fa = average_throughput_exact(a, d);
+  const auto fb = average_throughput_exact(b, d);
+  EXPECT_TRUE(fa.equals(fb));
+}
+
+// --------------------------------------------------------- g-properties
+
+TEST(GFunction, Property1UpperBound) {
+  // g_{n,D}(x) <= n D^D / ((n-D)(D+1)^(D+1)) for all x in [0, n-1].
+  for (std::size_t n : {8u, 16u, 33u, 64u}) {
+    for (std::size_t d : {2u, 3u, 5u}) {
+      const long double cap = throughput_upper_bound_general_loose(n, d);
+      for (std::size_t x = 0; x < n; ++x) {
+        EXPECT_LE(static_cast<double>(g_value(n, d, x)), static_cast<double>(cap) + 1e-12)
+            << "n=" << n << " D=" << d << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(GFunction, Property2ArgmaxAtFloorOrCeil) {
+  for (std::size_t n = 6; n <= 60; n += 3) {
+    for (std::size_t d = 2; d <= 5 && d + 1 < n; ++d) {
+      const std::size_t star = g_argmax(n, d);
+      // Within the floor/ceil window of (n-D)/(D+1).
+      const std::size_t fl = (n - d) / (d + 1);
+      EXPECT_TRUE(star == std::max<std::size_t>(fl, 1) || star == fl + 1)
+          << "n=" << n << " D=" << d << " star=" << star;
+      // And it really is the maximum over all integer x.
+      const long double best = g_value(n, d, star);
+      for (std::size_t x = 1; x < n; ++x) {
+        EXPECT_LE(static_cast<double>(g_value(n, d, x)), static_cast<double>(best) + 1e-15);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- Theorem 3 bound
+
+TEST(Theorem3, BoundHoldsForRandomSchedules) {
+  util::Xoshiro256 rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 5 + static_cast<std::size_t>(rng.below(6));
+    const std::size_t d = 2 + static_cast<std::size_t>(rng.below(std::min<std::size_t>(3, n - 3)));
+    const Schedule s = random_alpha_schedule(n, 4 + rng.below(10), 1 + rng.below(n / 2),
+                                             1 + rng.below(n / 2), false, rng);
+    const long double bound = throughput_upper_bound_general(n, d);
+    EXPECT_LE(static_cast<double>(average_throughput(s, d)),
+              static_cast<double>(bound) + 1e-12);
+    // The tight bound is itself below the loose closed form.
+    EXPECT_LE(static_cast<double>(bound),
+              static_cast<double>(throughput_upper_bound_general_loose(n, d)) + 1e-12);
+  }
+}
+
+TEST(Theorem3, AchievedExactlyByOptimalUniformNonSleeping) {
+  // A non-sleeping schedule with |T[i]| = αT* everywhere achieves Thr*.
+  for (std::size_t n : {8u, 12u, 20u}) {
+    for (std::size_t d : {2u, 3u}) {
+      const std::size_t star = optimal_transmitters_general(n, d);
+      util::Xoshiro256 rng(n * 100 + d);
+      const Schedule s = random_non_sleeping_schedule(n, 6, star, rng);
+      EXPECT_NEAR(static_cast<double>(average_throughput(s, d)),
+                  static_cast<double>(throughput_upper_bound_general(n, d)), 1e-12);
+    }
+  }
+}
+
+TEST(Theorem3, NonOptimalTransmitterCountIsStrictlyWorse) {
+  const std::size_t n = 12, d = 2;
+  const std::size_t star = optimal_transmitters_general(n, d);
+  util::Xoshiro256 rng(3);
+  const Schedule off = random_non_sleeping_schedule(n, 6, star + 2, rng);
+  EXPECT_LT(static_cast<double>(average_throughput(off, d)),
+            static_cast<double>(throughput_upper_bound_general(n, d)));
+}
+
+// ------------------------------------------------------- Theorem 4 bound
+
+TEST(Theorem4, BoundHoldsForRandomAlphaSchedules) {
+  util::Xoshiro256 rng(29);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.below(5));
+    const std::size_t d = 2 + static_cast<std::size_t>(rng.below(2));
+    const std::size_t at = 1 + static_cast<std::size_t>(rng.below(n / 2));
+    const std::size_t ar = 1 + static_cast<std::size_t>(rng.below(n - at));
+    const Schedule s = random_alpha_schedule(n, 4 + rng.below(8), at, ar, false, rng);
+    EXPECT_LE(static_cast<double>(average_throughput(s, d)),
+              static_cast<double>(throughput_upper_bound_alpha(n, d, at, ar)) + 1e-12)
+        << "n=" << n << " D=" << d << " at=" << at << " ar=" << ar;
+  }
+}
+
+TEST(Theorem4, AchievedExactlyByExactSizeSchedules) {
+  // |T[i]| = αT*, |R[i]| = αR everywhere -> equality.
+  const std::size_t n = 10, d = 2;
+  for (std::size_t at : {1u, 2u, 3u, 4u}) {
+    const std::size_t star = optimal_transmitters_alpha(n, d, at);
+    for (std::size_t ar : {std::size_t{2}, std::size_t{4}, n - star}) {
+      if (star + ar > n) continue;
+      util::Xoshiro256 rng(at * 10 + ar);
+      const Schedule s = random_alpha_schedule(n, 5, star, ar, true, rng);
+      EXPECT_NEAR(static_cast<double>(average_throughput(s, d)),
+                  static_cast<double>(throughput_upper_bound_alpha(n, d, at, ar)), 1e-12);
+    }
+  }
+}
+
+TEST(Theorem4, LooseFormDominatesTightForm) {
+  for (std::size_t n : {10u, 20u, 40u}) {
+    for (std::size_t d : {2u, 3u, 4u}) {
+      for (std::size_t ar : {1u, 3u, 5u}) {
+        EXPECT_LE(static_cast<double>(throughput_upper_bound_alpha(n, d, n, ar)),
+                  static_cast<double>(throughput_upper_bound_alpha_loose(n, d, ar)) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Theorem4, MoreReceiversMoreThroughput) {
+  // §5.2: higher average throughput is achieved by allowing more receivers.
+  const std::size_t n = 10, d = 3;
+  long double prev = -1.0L;
+  for (std::size_t ar = 1; ar <= 7; ++ar) {
+    const long double bound = throughput_upper_bound_alpha(n, d, 3, ar);
+    EXPECT_GT(static_cast<double>(bound), static_cast<double>(prev));
+    prev = bound;
+  }
+}
+
+TEST(Theorem4, AlphaStarFormula) {
+  // α is floor or ceil of (n-D)/D and αT* = min(αT, α).
+  for (std::size_t n = 6; n <= 40; n += 2) {
+    for (std::size_t d = 2; d <= 4; ++d) {
+      const std::size_t a = optimal_transmitters_alpha(n, d);
+      const std::size_t fl = (n - d) / d;
+      EXPECT_TRUE(a == std::max<std::size_t>(fl, 1) || a == (n - 1) / d)
+          << "n=" << n << " d=" << d << " a=" << a;
+      EXPECT_EQ(optimal_transmitters_alpha(n, d, 1), 1u);
+      EXPECT_EQ(optimal_transmitters_alpha(n, d, a + 5), a);
+    }
+  }
+}
+
+// ------------------------------------------------------ optimality ratio r
+
+TEST(OptimalityRatio, IsOneAtOptimumAndBelowElsewhere) {
+  const std::size_t n = 12, d = 3, at = 5;
+  const std::size_t star = optimal_transmitters_alpha(n, d, at);
+  EXPECT_NEAR(static_cast<double>(optimality_ratio_r(n, d, at, star)), 1.0, 1e-12);
+  for (std::size_t x = 1; x < star; ++x) {
+    EXPECT_LT(static_cast<double>(optimality_ratio_r(n, d, at, x)), 1.0);
+  }
+}
+
+// ---------------------------------------------------- minimum throughput
+
+TEST(MinThroughput, ExactMatchesDefinitionOnTinySchedule) {
+  // TDMA over 4 nodes, D=2: every (x,y,S) has exactly 1 guaranteed slot.
+  const Schedule s = non_sleeping_from_family(comb::tdma_family(4));
+  EXPECT_EQ(min_guaranteed_slots_exact(s, 2), 1u);
+}
+
+TEST(MinThroughput, ZeroForNonTransparentSchedule) {
+  const Schedule s = non_sleeping_from_family(comb::polynomial_family(3, 1, 9));
+  // Transparent at D=2 (min > 0), not at D=3 (min == 0): the paper's
+  // "Thr_min > 0 iff topology-transparent".
+  EXPECT_GT(min_guaranteed_slots_exact(s, 2), 0u);
+  EXPECT_EQ(min_guaranteed_slots_exact(s, 3), 0u);
+}
+
+TEST(MinThroughput, GreedyAndSampledAreUpperBoundsOfExact) {
+  util::Xoshiro256 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6 + static_cast<std::size_t>(rng.below(4));
+    const Schedule s = random_alpha_schedule(n, 8 + rng.below(8), 2, 3, false, rng);
+    const std::size_t exact = min_guaranteed_slots_exact(s, 2);
+    EXPECT_GE(min_guaranteed_slots_greedy(s, 2), exact);
+    EXPECT_GE(min_guaranteed_slots_sampled(s, 2, 300, rng), exact);
+  }
+}
+
+TEST(MinThroughput, PolynomialScheduleAnalyticFloor) {
+  // For the q,k polynomial schedule, any D neighbors erase at most Dk of
+  // x's q transmit slots, and every slot has all non-transmitters
+  // listening: min guaranteed slots >= q - Dk.
+  const std::uint32_t q = 5, k = 1;
+  const std::size_t d = 3;
+  const Schedule s = non_sleeping_from_family(comb::polynomial_family(q, k, 25));
+  EXPECT_GE(min_guaranteed_slots_exact(s, d), static_cast<std::size_t>(q - d * k));
+}
+
+}  // namespace
+}  // namespace ttdc::core

@@ -1,0 +1,106 @@
+// The (αT, αR) trade-off planner: closed forms vs the real construction,
+// Pareto front sanity, and requirement-driven selection.
+#include "core/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "combinatorics/constructions.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "core/throughput.hpp"
+
+namespace ttdc::core {
+namespace {
+
+Schedule base25() {
+  return non_sleeping_from_family(comb::polynomial_family(5, 2, 25));
+}
+
+TEST(Tradeoff, MatchesActualConstruction) {
+  const Schedule base = base25();
+  for (const auto& [at, ar] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 5}, {5, 5}, {5, 10}, {3, 8}, {1, 2}}) {
+    const TradeoffPoint p = evaluate_tradeoff(base, 2, at, ar);
+    const Schedule built = construct_duty_cycled(base, 2, at, ar);
+    EXPECT_EQ(p.frame_length, built.frame_length()) << p.to_string();
+    EXPECT_NEAR(p.duty_cycle, built.duty_cycle(), 1e-12) << p.to_string();
+    // Theorem 8 guarantee vs reality.
+    const double achieved_ratio =
+        static_cast<double>(average_throughput(built, 2)) / p.avg_throughput_bound;
+    EXPECT_GE(achieved_ratio, p.ratio_lower_bound - 1e-9) << p.to_string();
+  }
+}
+
+TEST(Tradeoff, RejectsInvalidParameters) {
+  const Schedule base = base25();
+  EXPECT_THROW(evaluate_tradeoff(base, 2, 0, 5), std::invalid_argument);
+  EXPECT_THROW(evaluate_tradeoff(base, 2, 20, 6), std::invalid_argument);  // sum > n
+  util::Xoshiro256 rng(1);
+  const Schedule partial = random_alpha_schedule(10, 4, 2, 2, false, rng);
+  EXPECT_THROW(evaluate_tradeoff(partial, 2, 2, 2), std::invalid_argument);
+}
+
+TEST(Tradeoff, GridCoversAndRespectsConstraint) {
+  const Schedule base = base25();
+  const auto points = enumerate_tradeoffs(base, 2, 6, 10);
+  EXPECT_EQ(points.size(), 6u * 10u);  // all pairs fit (6 + 10 <= 25)
+  for (const auto& p : points) {
+    EXPECT_GE(p.alpha_t, 1u);
+    EXPECT_LE(p.alpha_t, 6u);
+    EXPECT_LE(p.alpha_r, 10u);
+    EXPECT_GT(p.duty_cycle, 0.0);
+    EXPECT_LE(p.duty_cycle, 1.0 + 1e-12);
+  }
+}
+
+TEST(Tradeoff, ParetoFrontIsNonDominatedAndSorted) {
+  const Schedule base = base25();
+  const auto points = enumerate_tradeoffs(base, 2, 8, 12);
+  const auto front = pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  EXPECT_LE(front.size(), points.size());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].duty_cycle, front[i - 1].duty_cycle);
+  }
+  // No front point dominated by any grid point.
+  for (const auto& f : front) {
+    for (const auto& p : points) {
+      const bool dominates = p.duty_cycle <= f.duty_cycle &&
+                             p.avg_throughput_bound >= f.avg_throughput_bound &&
+                             p.latency_bound <= f.latency_bound &&
+                             (p.duty_cycle < f.duty_cycle ||
+                              p.avg_throughput_bound > f.avg_throughput_bound ||
+                              p.latency_bound < f.latency_bound);
+      EXPECT_FALSE(dominates) << f.to_string() << " dominated by " << p.to_string();
+    }
+  }
+}
+
+TEST(Tradeoff, PickCheapestHonorsRequirements) {
+  const Schedule base = base25();
+  const auto front = pareto_front(enumerate_tradeoffs(base, 2, 8, 12));
+  TradeoffPoint chosen;
+  ASSERT_TRUE(pick_cheapest(front, /*max_latency_slots=*/200,
+                            /*min_avg_throughput=*/0.01, chosen));
+  EXPECT_LE(chosen.latency_bound, 200u);
+  EXPECT_GE(chosen.avg_throughput_bound, 0.01);
+  // Nothing cheaper on the front satisfies both requirements.
+  for (const auto& p : front) {
+    if (p.latency_bound <= 200 && p.avg_throughput_bound >= 0.01) {
+      EXPECT_GE(p.duty_cycle, chosen.duty_cycle - 1e-15);
+    }
+  }
+  // Impossible requirements are reported as such.
+  TradeoffPoint none;
+  EXPECT_FALSE(pick_cheapest(front, 1, 0.99, none));
+}
+
+TEST(Tradeoff, DutyCycleFallsWithTighterCaps) {
+  const Schedule base = base25();
+  const double duty_loose = evaluate_tradeoff(base, 2, 5, 15).duty_cycle;
+  const double duty_tight = evaluate_tradeoff(base, 2, 2, 4).duty_cycle;
+  EXPECT_LT(duty_tight, duty_loose);
+}
+
+}  // namespace
+}  // namespace ttdc::core

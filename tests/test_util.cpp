@@ -1,0 +1,269 @@
+// RNG, binomials, subset enumeration, table writer, parallel helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "util/binomial.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/subsets.hpp"
+#include "util/table.hpp"
+
+namespace ttdc::util {
+namespace {
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(5);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kTrials = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.below(kBound)];
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kTrials / kBound, 5 * std::sqrt(kTrials / kBound));
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Xoshiro256 parent(77);
+  Xoshiro256 child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SampleKOfIsSortedUniqueInRange) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(50));
+    const std::size_t k = static_cast<std::size_t>(rng.below(n + 1));
+    const auto s = sample_k_of(n, k, rng);
+    ASSERT_EQ(s.size(), k);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_LT(s[i], n);
+      if (i > 0) { EXPECT_LT(s[i - 1], s[i]); }
+    }
+  }
+}
+
+TEST(Rng, SampleKOfCoversAllSubsetsUniformly) {
+  // All C(5,2)=10 subsets should appear with roughly equal frequency.
+  Xoshiro256 rng(13);
+  std::map<std::vector<std::size_t>, int> histogram;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) ++histogram[sample_k_of(5, 2, rng)];
+  EXPECT_EQ(histogram.size(), 10u);
+  for (const auto& [subset, count] : histogram) {
+    EXPECT_NEAR(count, kTrials / 10, 5 * std::sqrt(kTrials / 10.0));
+  }
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Xoshiro256 rng(21);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(v, rng);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 100u);
+}
+
+// -------------------------------------------------------------- binomial
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial_u64(0, 0), 1u);
+  EXPECT_EQ(binomial_u64(5, 0), 1u);
+  EXPECT_EQ(binomial_u64(5, 5), 1u);
+  EXPECT_EQ(binomial_u64(5, 2), 10u);
+  EXPECT_EQ(binomial_u64(10, 3), 120u);
+  EXPECT_EQ(binomial_u64(52, 5), 2598960u);
+  EXPECT_EQ(binomial_u64(4, 7), 0u);  // k > n
+}
+
+TEST(Binomial, PascalIdentityHoldsExactly) {
+  for (std::uint64_t n = 1; n <= 60; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial_exact(n, k), binomial_exact(n - 1, k - 1) + binomial_exact(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, SymmetryHolds) {
+  for (std::uint64_t n = 0; n <= 80; ++n) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(binomial_exact(n, k), binomial_exact(n, n - k));
+    }
+  }
+}
+
+TEST(Binomial, LogSpaceMatchesExact) {
+  for (std::uint64_t n = 2; n <= 60; n += 7) {
+    for (std::uint64_t k = 0; k <= n; k += 3) {
+      const long double exact = static_cast<long double>(binomial_exact(n, k));
+      EXPECT_NEAR(static_cast<double>(binomial_ld(n, k) / exact), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(Binomial, OverflowThrows) {
+  EXPECT_THROW(binomial_exact(300, 150), CountingOverflow);
+  EXPECT_THROW(binomial_u64(80, 40), CountingOverflow);  // fits 128 but not 64
+  EXPECT_NO_THROW(binomial_exact(120, 60));
+  // C(128, 64) itself fits in 128 bits but the interleaved multiply's
+  // intermediate step does not; the documented contract is to throw.
+  EXPECT_THROW(binomial_exact(128, 64), CountingOverflow);
+}
+
+TEST(Binomial, FallingFactorial) {
+  EXPECT_EQ(falling_factorial_exact(5, 0), u128{1});
+  EXPECT_EQ(falling_factorial_exact(5, 2), u128{20});
+  EXPECT_EQ(falling_factorial_exact(10, 10), u128{3628800});
+}
+
+TEST(Binomial, U128ToString) {
+  EXPECT_EQ(u128_to_string(0), "0");
+  EXPECT_EQ(u128_to_string(12345), "12345");
+  // 2^100 = 1267650600228229401496703205376
+  u128 v = 1;
+  for (int i = 0; i < 100; ++i) v *= 2;
+  EXPECT_EQ(u128_to_string(v), "1267650600228229401496703205376");
+}
+
+// --------------------------------------------------------------- subsets
+
+TEST(Subsets, EnumeratesAllLexicographically) {
+  std::vector<std::vector<std::size_t>> seen;
+  for_each_k_subset(5, 3, [&](std::span<const std::size_t> s) {
+    seen.emplace_back(s.begin(), s.end());
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 10u);  // C(5,3)
+  EXPECT_EQ(seen.front(), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(seen.back(), (std::vector<std::size_t>{2, 3, 4}));
+  for (std::size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i - 1], seen[i]);
+}
+
+TEST(Subsets, CountsMatchBinomialAcrossSweep) {
+  for (std::size_t n = 0; n <= 12; ++n) {
+    for (std::size_t k = 0; k <= n + 1; ++k) {
+      std::size_t count = 0;
+      for_each_k_subset(n, k, [&](std::span<const std::size_t>) {
+        ++count;
+        return true;
+      });
+      EXPECT_EQ(count, static_cast<std::size_t>(binomial_exact(n, k)))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Subsets, EarlyExitStopsEnumeration) {
+  std::size_t count = 0;
+  const bool completed = for_each_k_subset(10, 2, [&](std::span<const std::size_t>) {
+    return ++count < 3;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Subsets, EmptySubsetVisitedOnce) {
+  std::size_t count = 0;
+  for_each_k_subset(4, 0, [&](std::span<const std::size_t> s) {
+    EXPECT_TRUE(s.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Subsets, PoolVariantMapsValues) {
+  const std::vector<int> pool = {10, 20, 30};
+  std::vector<std::vector<int>> seen;
+  for_each_k_subset_of(std::span<const int>(pool), 2, [&](std::span<const int> s) {
+    seen.emplace_back(s.begin(), s.end());
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::vector<int>{10, 20}));
+  EXPECT_EQ(seen[2], (std::vector<int>{20, 30}));
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(Table, TextRenderingAligns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("b"), 3.5});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("3.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row({std::string("x,y"), std::string("q\"uote")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+// -------------------------------------------------------------- parallel
+
+TEST(Parallel, SumMatchesSerial) {
+  const auto total = parallel_sum(0, 10000, [](std::size_t i) { return i; });
+  EXPECT_EQ(total, 10000u * 9999u / 2);
+}
+
+TEST(Parallel, ForVisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(0, 500, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, AnyFindsWitness) {
+  EXPECT_TRUE(parallel_any(0, 1000, [](std::size_t i) { return i == 777; }));
+  EXPECT_FALSE(parallel_any(0, 1000, [](std::size_t) { return false; }));
+}
+
+}  // namespace
+}  // namespace ttdc::util
