@@ -10,11 +10,13 @@
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "core/energy.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 using namespace ttdc;
 
 int main() {
+  obs::BenchReport report("balanced_energy");
   util::print_banner("E11 / balanced-energy division (§7)", {});
   util::Table table({"base", "division", "slot spread", "node spread", "duty stddev",
                      "slots balanced", "nodes balanced", "wakeups/frame"});
@@ -59,5 +61,8 @@ int main() {
   std::cout << table.to_text();
   std::cout << "\nresult: balanced division on balanced bases keeps both §7 balance "
             << "properties: " << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

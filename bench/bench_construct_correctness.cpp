@@ -6,12 +6,14 @@
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "core/requirements.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 using namespace ttdc;
 
 int main() {
+  obs::BenchReport report("construct_correctness");
   util::print_banner("E6 / Theorem 6: Construct() correctness over the CFF zoo", {});
   util::Table table({"plan", "n", "D", "aT", "aR", "L(base)", "L(constructed)", "duty cycle",
                      "caps hold", "Req3 holds", "verify ms"});
@@ -51,5 +53,8 @@ int main() {
   std::cout << table.to_text();
   std::cout << "\nresult: every constructed schedule is a topology-transparent "
             << "(aT,aR)-schedule (Theorem 6): " << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

@@ -16,13 +16,16 @@
 #include "core/direct.hpp"
 #include "core/requirements.hpp"
 #include "core/throughput.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 using namespace ttdc;
 
 int main() {
+  obs::BenchReport report("direct_vs_construct");
   util::print_banner("E20 / Construct() conversion vs direct greedy covering", {});
+  double total_ms_convert = 0.0, total_ms_direct = 0.0;
   util::Table table({"n", "D", "aT", "aR", "L convert", "L direct", "thr convert",
                      "thr direct", "ms convert", "ms direct", "both valid"});
   table.set_precision(5);
@@ -49,6 +52,8 @@ int main() {
     const bool valid = !core::check_requirement3_exact(converted, c.d) &&
                        !core::check_requirement3_exact(direct, c.d);
     ok &= valid;
+    total_ms_convert += ms_convert;
+    total_ms_direct += ms_direct;
     table.add_row({static_cast<std::int64_t>(c.n), static_cast<std::int64_t>(c.d),
                    static_cast<std::int64_t>(c.at), static_cast<std::int64_t>(c.ar),
                    static_cast<std::int64_t>(converted.frame_length()),
@@ -64,5 +69,10 @@ int main() {
             << "scalability argument for the paper's two-step design. Frame lengths show\n"
             << "which route buys shorter frames at each size.\n"
             << "result: " << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("convert_ms_total", total_ms_convert);
+  report.metric("direct_ms_total", total_ms_direct);
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

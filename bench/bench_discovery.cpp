@@ -8,6 +8,7 @@
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "net/topology.hpp"
+#include "obs/report.hpp"
 #include "sim/discovery.hpp"
 #include "util/table.hpp"
 
@@ -16,6 +17,10 @@ using namespace ttdc;
 int main() {
   constexpr std::size_t kN = 24, kD = 3;
   constexpr int kTopologies = 20;
+  obs::BenchReport report("discovery");
+  report.param("n", kN);
+  report.param("D", kD);
+  report.param("topologies", kTopologies);
   util::print_banner("E18 / one-frame neighbor discovery",
                      {{"n", std::to_string(kN)},
                       {"D", std::to_string(kD)},
@@ -52,5 +57,8 @@ int main() {
             << kTopologies << " random degree-<=" << kD
             << " topologies, with zero control traffic: " << (ok ? "CONFIRMED" : "FAILED")
             << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

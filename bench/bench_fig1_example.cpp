@@ -11,6 +11,7 @@
 #include "core/builders.hpp"
 #include "core/throughput.hpp"
 #include "net/graph.hpp"
+#include "obs/report.hpp"
 #include "sim/mac.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -41,9 +42,12 @@ std::uint64_t simulate_link(const core::Figure1Example& ex, const core::Schedule
 }  // namespace
 
 int main() {
+  obs::BenchReport report("fig1_example");
   util::print_banner("E1 / Figure 1: sleeping can preserve throughput on a fixed topology",
                      {{"frames", "50"}});
   const core::Figure1Example ex = core::figure1_example();
+  report.param("frames", 50);
+  report.param("num_nodes", ex.num_nodes);
 
   std::cout << "topology: path ";
   for (std::size_t i = 0; i < ex.num_nodes; ++i) std::cout << (i ? " - " : "") << i;
@@ -80,5 +84,10 @@ int main() {
   std::cout << "\nresult: throughput preserved on every link while duty cycle fell from "
             << ex.non_sleeping.duty_cycle() << " to " << ex.duty_cycled.duty_cycle() << ": "
             << (all_equal ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("links_checked", table.num_rows());
+  report.metric("duty_cycle_non_sleeping", ex.non_sleeping.duty_cycle());
+  report.metric("duty_cycle_duty_cycled", ex.duty_cycled.duty_cycle());
+  report.metric("ok", all_equal ? 1 : 0);
+  report.write();
   return all_equal ? 0 : 1;
 }

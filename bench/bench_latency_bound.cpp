@@ -10,6 +10,7 @@
 #include "core/construct.hpp"
 #include "core/latency.hpp"
 #include "net/graph.hpp"
+#include "obs/report.hpp"
 #include "sim/mac.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -50,6 +51,9 @@ std::uint64_t simulated_max_latency(const core::Schedule& s, std::size_t d,
 
 int main() {
   constexpr std::size_t kN = 25, kD = 3;
+  obs::BenchReport report("latency_bound");
+  report.param("n", kN);
+  report.param("D", kD);
   util::print_banner("E16 / worst-case latency bounds",
                      {{"n", std::to_string(kN)}, {"D", std::to_string(kD)}});
   const auto plan = comb::best_plan(kN, kD);
@@ -84,5 +88,8 @@ int main() {
   std::cout << "\nresult: simulated worst-case latency never exceeds the analytic bound; "
             << "tightening (aT, aR) buys energy with a proportional latency price: "
             << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "net/topology.hpp"
+#include "obs/report.hpp"
 #include "sim/mac.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -24,6 +25,11 @@ int main() {
   constexpr double kRate = 0.001;
   constexpr double kBatteryMj = 2000.0;  // ~3200 always-on slots
   constexpr std::uint64_t kMaxSlots = 400000;
+  obs::BenchReport report("lifetime");
+  report.param("grid", "5x5");
+  report.param("battery_mj", kBatteryMj);
+  report.param("rate_per_node_per_slot", kRate);
+  report.param("max_slots", static_cast<std::int64_t>(kMaxSlots));
   util::print_banner("E21 / network lifetime under equal batteries",
                      {{"grid", "5x5"},
                       {"battery_mJ", std::to_string(kBatteryMj)},
@@ -75,7 +81,16 @@ int main() {
          static_cast<std::int64_t>(sim.stats().delivered),
          static_cast<std::int64_t>(sim.stats().delivered - delivered_at_first_death),
          first / always_on_first_death});
+    std::string key(row.name);
+    for (char& c : key) {
+      if (c == ' ' || c == '(' || c == ')' || c == '=' || c == '%' || c == '-') c = '_';
+    }
+    report.metric(key + "_first_death_slot", sim.stats().first_death_slot);
+    report.metric(key + "_delivered_total", sim.stats().delivered);
+    report.metric(key + "_lifetime_x", first / always_on_first_death);
   }
+  report.metric("macs_compared", table.num_rows());
+  report.write();
   std::cout << table.to_text();
   std::cout << "\nreading: duty cycling multiplies time-to-first-death roughly by the\n"
             << "awake-fraction ratio. Note the narrow first-death-to-blackout window for\n"

@@ -12,6 +12,7 @@
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "net/topology.hpp"
+#include "obs/report.hpp"
 #include "sim/mac.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -45,6 +46,11 @@ int main() {
   constexpr std::size_t kN = 30, kD = 3;
   constexpr int kEpochs = 8;
   constexpr std::uint64_t kSlotsPerEpoch = 5000;
+  obs::BenchReport report("mobility");
+  report.param("n", kN);
+  report.param("D", kD);
+  report.param("epochs", kEpochs);
+  report.param("slots_per_epoch", static_cast<std::int64_t>(kSlotsPerEpoch));
   util::print_banner("E14 / topology transparency under mobility churn",
                      {{"n", std::to_string(kN)},
                       {"D", std::to_string(kD)},
@@ -104,5 +110,12 @@ int main() {
             << fresh_mac.recolor_count() << "\n";
   std::cout << "result: fixed TT schedule delivered in every epoch with zero "
             << "reconfiguration: " << (tt_alive_every_epoch ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("tt_delivered", tt.stats().delivered);
+  report.metric("tt_collisions", tt.stats().collisions);
+  report.metric("recolored_delivered", fresh.stats().delivered);
+  report.metric("stale_delivered", stale.stats().delivered);
+  report.metric("recolorings", fresh_mac.recolor_count());
+  report.metric("ok", tt_alive_every_epoch ? 1 : 0);
+  report.write();
   return tt_alive_every_epoch ? 0 : 1;
 }

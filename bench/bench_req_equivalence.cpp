@@ -7,12 +7,16 @@
 
 #include "core/builders.hpp"
 #include "core/requirements.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 using namespace ttdc;
 
 int main() {
   constexpr std::uint64_t kSeed = 20070326;  // IPDPS'07 week
+  obs::BenchReport report("req_equivalence");
+  report.param("seed", static_cast<std::int64_t>(kSeed));
+  report.param("schedules_per_cell", 40);
   util::print_banner("E2 / Theorem 1: Requirement 2 <=> Requirement 3",
                      {{"seed", std::to_string(kSeed)}, {"schedules_per_cell", "40"}});
   util::Table table(
@@ -44,5 +48,9 @@ int main() {
   std::cout << table.to_text();
   std::cout << "\nresult: Theorem 1 equivalence "
             << (total_disagreements == 0 ? "CONFIRMED (0 disagreements)" : "FAILED") << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("disagreements", total_disagreements);
+  report.metric("ok", total_disagreements == 0 ? 1 : 0);
+  report.write();
   return total_disagreements == 0 ? 0 : 1;
 }

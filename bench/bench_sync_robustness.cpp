@@ -12,6 +12,7 @@
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "net/graph.hpp"
+#include "obs/report.hpp"
 #include "sim/mac.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -21,6 +22,10 @@ using namespace ttdc;
 int main() {
   constexpr std::size_t kN = 25, kD = 3;
   constexpr std::uint64_t kFrames = 400;
+  obs::BenchReport report("sync_robustness");
+  report.param("n", kN);
+  report.param("D", kD);
+  report.param("frames", static_cast<std::int64_t>(kFrames));
   util::print_banner("E17 / robustness to imperfect synchronization and channel",
                      {{"n", std::to_string(kN)},
                       {"D", std::to_string(kD)},
@@ -82,5 +87,9 @@ int main() {
   std::cout << "\nresult: goodput tracks (1-sync_miss)(1-pkt_err) and the link never "
             << "starves -- the schedule degrades gracefully, it does not collapse: "
             << (graceful ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("base_deliveries_per_frame", base_per_frame);
+  report.metric("ok", graceful ? 1 : 0);
+  report.write();
   return graceful ? 0 : 1;
 }

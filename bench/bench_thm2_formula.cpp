@@ -11,6 +11,7 @@
 #include "core/builders.hpp"
 #include "core/throughput.hpp"
 #include "net/graph.hpp"
+#include "obs/report.hpp"
 #include "sim/mac.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -61,12 +62,16 @@ double simulated_average(const core::Schedule& s, std::size_t d, std::size_t sam
 
 int main() {
   constexpr std::uint64_t kSeed = 42;
+  obs::BenchReport report("thm2_formula");
+  report.param("seed", static_cast<std::int64_t>(kSeed));
+  report.param("sim_samples", 60);
   util::print_banner("E3 / Theorem 2: closed-form vs enumeration vs simulation",
                      {{"seed", std::to_string(kSeed)}, {"sim_samples", "60"}});
   util::Table table({"schedule", "n", "D", "Thm2 formula", "brute force", "simulated (sampled)",
                      "exact match", "formula ms", "brute ms"});
   util::Xoshiro256 rng(kSeed);
   bool all_match = true;
+  double total_formula_ms = 0.0, total_brute_ms = 0.0;
 
   struct Cell {
     core::Schedule schedule;
@@ -92,6 +97,8 @@ int main() {
     const double simulated = simulated_average(cell.schedule, cell.d, 60, rng);
     const bool match = formula.equals(brute);
     all_match &= match;
+    total_formula_ms += formula_ms;
+    total_brute_ms += brute_ms;
     table.add_row({std::string(cell.name), static_cast<std::int64_t>(cell.schedule.num_nodes()),
                    static_cast<std::int64_t>(cell.d), static_cast<double>(formula.value()),
                    static_cast<double>(brute.value()), simulated,
@@ -101,5 +108,10 @@ int main() {
   std::cout << "\nresult: Theorem 2 formula == Definition 2 enumeration on every cell: "
             << (all_match ? "CONFIRMED" : "FAILED")
             << "; simulated values are sampled estimates of the same quantity.\n";
+  report.metric("cells", table.num_rows());
+  report.metric("formula_ms_total", total_formula_ms);
+  report.metric("brute_ms_total", total_brute_ms);
+  report.metric("ok", all_match ? 1 : 0);
+  report.write();
   return all_match ? 0 : 1;
 }

@@ -9,11 +9,13 @@
 
 #include "core/builders.hpp"
 #include "core/throughput.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 using namespace ttdc;
 
 int main() {
+  obs::BenchReport report("thm3_bound");
   util::print_banner("E4 / Theorem 3: general-schedule throughput bound", {});
   util::Table table({"n", "D", "alphaT*", "(n-D)/(D+1)", "Thr* (tight)", "loose bound",
                      "achieved @ alphaT*", "achieved @ alphaT*+2", "tight==achieved"});
@@ -49,5 +51,8 @@ int main() {
   std::cout << "\nresult: bound tight at alphaT* ~ (n-D)/(D+1), dominated by the loose form, "
             << "strictly above off-optimal schedules: " << (ok ? "CONFIRMED" : "FAILED")
             << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

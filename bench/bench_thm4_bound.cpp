@@ -9,12 +9,16 @@
 
 #include "core/builders.hpp"
 #include "core/throughput.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 using namespace ttdc;
 
 int main() {
   constexpr std::size_t kN = 32, kD = 3;
+  obs::BenchReport report("thm4_bound");
+  report.param("n", kN);
+  report.param("D", kD);
   util::print_banner("E5 / Theorem 4: (aT,aR)-schedule bound and energy tradeoff",
                      {{"n", std::to_string(kN)}, {"D", std::to_string(kD)}});
   std::cout << "Theorem 3 general ceiling: "
@@ -49,5 +53,8 @@ int main() {
   std::cout << table.to_text();
   std::cout << "\nresult: achieved == bound at |T[i]|=alphaT*, |R[i]|=alphaR; bound is "
             << "monotone in alphaR (§5.2): " << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

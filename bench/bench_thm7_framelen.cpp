@@ -9,12 +9,17 @@
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "core/throughput.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 using namespace ttdc;
 
 int main() {
   constexpr std::size_t kN = 64, kD = 3;
+  obs::BenchReport report("thm7_framelen");
+  report.param("n", kN);
+  report.param("D", kD);
+  report.param("base", "polynomial q=13 k=1 (L=169)");
   util::print_banner("E7 / Theorem 7: constructed frame length",
                      {{"n", std::to_string(kN)}, {"D", std::to_string(kD)},
                       {"base", "polynomial q=13 k=1 (L=169)"}});
@@ -46,5 +51,9 @@ int main() {
   std::cout << table.to_text();
   std::cout << "\nresult: constructed frame length matches the Theorem 7 formula and bound: "
             << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("base_frame_length", base.frame_length());
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

@@ -13,12 +13,18 @@
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "core/throughput.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 using namespace ttdc;
 
 int main() {
   constexpr std::size_t kN = 36, kD = 3, kAt = 8, kAr = 12;
+  obs::BenchReport report("thm8_optimality");
+  report.param("n", kN);
+  report.param("D", kD);
+  report.param("alphaT", kAt);
+  report.param("alphaR", kAr);
   util::print_banner("E8 / Theorem 8: construction optimality ratio",
                      {{"n", std::to_string(kN)},
                       {"D", std::to_string(kD)},
@@ -86,5 +92,8 @@ int main() {
   }
   std::cout << "\nresult: ratio >= Theorem 8 bound everywhere; ratio == 1 whenever "
             << "M_in >= alphaT*: " << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("alphaT_star", star);
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

@@ -10,11 +10,13 @@
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "core/throughput.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 using namespace ttdc;
 
 int main() {
+  obs::BenchReport report("thm9_minthr");
   util::print_banner("E9 / Theorem 9: minimum throughput of constructed schedules", {});
   util::Table table({"plan", "D", "aT", "aR", "min slots <T>", "min slots out",
                      "Thr_min out", "Thm9 bound", "holds"});
@@ -47,5 +49,8 @@ int main() {
   std::cout << table.to_text();
   std::cout << "\nresult: constructed schedules keep >= the base's guaranteed slots per frame "
             << "and beat the Theorem 9 bound: " << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("cells", table.num_rows());
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

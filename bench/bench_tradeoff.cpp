@@ -9,12 +9,16 @@
 #include "core/construct.hpp"
 #include "core/throughput.hpp"
 #include "core/tradeoff.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 
 using namespace ttdc;
 
 int main() {
   constexpr std::size_t kN = 49, kD = 3;
+  obs::BenchReport report("tradeoff");
+  report.param("n", kN);
+  report.param("D", kD);
   util::print_banner("E19 / (aT, aR) trade-off surface and Pareto front",
                      {{"n", std::to_string(kN)}, {"D", std::to_string(kD)}});
   const auto plan = comb::best_plan(kN, kD);
@@ -51,5 +55,10 @@ int main() {
   }
   std::cout << "\nresult: planner closed forms match the built schedules on spot checks: "
             << (ok ? "CONFIRMED" : "FAILED") << "\n";
+  report.metric("grid_points", points.size());
+  report.metric("pareto_points", front.size());
+  report.metric("spot_checks", checked);
+  report.metric("ok", ok ? 1 : 0);
+  report.write();
   return ok ? 0 : 1;
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds the bench harness and runs every bench binary, collecting the
+# machine-readable BENCH_<name>.json reports (obs::BenchReport) at the repo
+# root. Exits non-zero if the build fails, any bench fails its paper-claim
+# check, or any report file is missing afterwards.
+#
+# Usage: scripts/run_benches.sh [build-dir]
+#   TTDC_BENCH_DIR  overrides where reports are written (default: repo root)
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+bench_dir="${TTDC_BENCH_DIR:-$repo_root}"
+export TTDC_BENCH_DIR="$bench_dir"
+
+cmake -B "$build_dir" -S "$repo_root" || exit 1
+cmake --build "$build_dir" -j "$(nproc)" || exit 1
+
+status=0
+ran=0
+for bin in "$build_dir"/bench/bench_*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo
+  echo "=== $name ==="
+  if ! "$bin"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+  ran=$((ran + 1))
+  report="$bench_dir/BENCH_${name#bench_}.json"
+  if [ ! -s "$report" ]; then
+    echo "MISSING REPORT: $report" >&2
+    status=1
+  fi
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "no bench binaries found under $build_dir/bench" >&2
+  exit 1
+fi
+
+echo
+echo "ran $ran benches; reports in $bench_dir:"
+ls -1 "$bench_dir"/BENCH_*.json 2>/dev/null
+exit $status

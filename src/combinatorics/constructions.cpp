@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "gf/field.hpp"
+#include "obs/profile.hpp"
 
 namespace ttdc::comb {
 
@@ -38,6 +39,7 @@ std::size_t polynomial_family_capacity(std::uint32_t q, std::uint32_t k) {
 
 SetFamily truncated_polynomial_family(std::uint32_t q, std::uint32_t k,
                                       std::uint32_t columns, std::size_t count) {
+  TTDC_PROF_SCOPE("comb.polynomial_family");
   if (k == 0 || k >= columns || columns > q) {
     throw std::invalid_argument("truncated_polynomial_family: need 1 <= k < columns <= q");
   }
@@ -225,6 +227,7 @@ SetFamily skolem_sts(std::uint32_t v) {
 }  // namespace
 
 SetFamily steiner_triple_family(std::uint32_t v) {
+  TTDC_PROF_SCOPE("comb.steiner_triple_family");
   if (v < 7 || (v % 6 != 1 && v % 6 != 3)) {
     throw std::invalid_argument("steiner_triple_family: need v ≡ 1 or 3 (mod 6), v >= 7");
   }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "gf/field.hpp"
+#include "obs/profile.hpp"
 #include "util/subsets.hpp"
 
 namespace ttdc::comb {
@@ -55,6 +56,7 @@ bool OrthogonalArray::verify_strength(std::uint32_t t) const {
 
 OrthogonalArray polynomial_orthogonal_array(std::uint32_t q, std::uint32_t strength,
                                             std::uint32_t num_columns) {
+  TTDC_PROF_SCOPE("comb.polynomial_orthogonal_array");
   if (strength == 0 || strength > q || num_columns == 0 || num_columns > q) {
     throw std::invalid_argument(
         "polynomial_orthogonal_array: need 1 <= t <= q and 1 <= k <= q");

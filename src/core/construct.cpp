@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/throughput.hpp"
+#include "obs/profile.hpp"
 
 namespace ttdc::core {
 
@@ -48,6 +49,7 @@ std::vector<std::vector<std::size_t>> divide(const std::vector<std::size_t>& mem
 Schedule construct_duty_cycled(const Schedule& non_sleeping, std::size_t degree_bound,
                                std::size_t alpha_t, std::size_t alpha_r,
                                const ConstructOptions& options) {
+  TTDC_PROF_SCOPE("core.construct_duty_cycled");
   const std::size_t n = non_sleeping.num_nodes();
   if (!non_sleeping.is_non_sleeping()) {
     throw std::invalid_argument("construct_duty_cycled: input must be non-sleeping");

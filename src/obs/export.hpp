@@ -1,0 +1,27 @@
+// Exporters: Prometheus text exposition for a metrics snapshot, and the
+// bridge that publishes SimStats into a MetricsRegistry at read time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/stats.hpp"
+
+namespace ttdc::obs {
+
+/// Prometheus text exposition format (version 0.0.4): # HELP / # TYPE
+/// headers, `_bucket{le=...}` / `_sum` / `_count` series for histograms.
+/// Metric names are sanitized to [a-zA-Z0-9_:].
+[[nodiscard]] std::string prometheus_text(const std::vector<MetricSnapshot>& snapshot);
+
+/// Convenience: snapshot + render in one call.
+[[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry);
+
+/// Publishes the aggregate counters and derived ratios of a finished (or
+/// in-flight) run into `registry` under `<prefix>_...` — snapshot-on-read
+/// companion to the simulator's live hot-path counters.
+void publish_sim_stats(const sim::SimStats& stats, MetricsRegistry& registry,
+                       const std::string& prefix = "ttdc_sim");
+
+}  // namespace ttdc::obs

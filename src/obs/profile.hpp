@@ -1,0 +1,172 @@
+// Profiling scopes: TTDC_PROF_SCOPE("name") accumulates {calls, total ns}
+// per site into a process-wide table, publishable into a MetricsRegistry.
+//
+// Disabled (the default) a scope costs one relaxed atomic load and a
+// predictable branch, so it is safe inside Simulator::step() and the
+// combinatorial construction kernels. Enable around the region you want to
+// profile with Profiler::enable(true) (or a ProfilerSession RAII guard).
+// Header-only for the same reason as metrics.hpp: profiled code must not
+// link ttdc_obs.
+#pragma once
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ttdc::obs {
+
+/// Per-callsite accumulator. Atomic so OpenMP-parallel regions can share a
+/// site.
+struct ProfSite {
+  std::string name;
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> total_ns{0};
+};
+
+class Profiler {
+ public:
+  static Profiler& instance() {
+    static Profiler profiler;
+    return profiler;
+  }
+
+  static void enable(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+  [[nodiscard]] static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Registers (or finds) the accumulator for `name`; the reference stays
+  /// valid for the process lifetime. Called once per callsite via a static
+  /// local in TTDC_PROF_SCOPE.
+  ProfSite& site(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = sites_[name];
+    if (!slot) {
+      slot = std::make_unique<ProfSite>();
+      slot->name = name;
+    }
+    return *slot;
+  }
+
+  /// Zeroes every accumulator (sites stay registered).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, s] : sites_) {
+      s->calls.store(0, std::memory_order_relaxed);
+      s->total_ns.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  struct Sample {
+    std::string name;
+    std::uint64_t calls = 0;
+    double total_seconds = 0.0;
+  };
+
+  [[nodiscard]] std::vector<Sample> samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Sample> out;
+    out.reserve(sites_.size());
+    for (const auto& [name, s] : sites_) {
+      out.push_back({name, s->calls.load(std::memory_order_relaxed),
+                     static_cast<double>(s->total_ns.load(std::memory_order_relaxed)) * 1e-9});
+    }
+    return out;
+  }
+
+  /// Publishes every site as `prof_<name>_calls` (counter-valued gauge would
+  /// lie across publishes, so counters are bumped by the delta) and
+  /// `prof_<name>_seconds` gauges into `registry`.
+  void publish(MetricsRegistry& registry, const std::string& prefix = "prof_") const {
+    for (const Sample& s : samples()) {
+      std::string base = prefix + s.name;
+      for (char& c : base) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')) c = '_';
+      }
+      registry.gauge(base + "_calls", "profiling scope call count")
+          .set(static_cast<double>(s.calls));
+      registry.gauge(base + "_seconds", "profiling scope cumulative seconds")
+          .set(s.total_seconds);
+    }
+  }
+
+  /// Human-readable table (name, calls, total, per-call), for examples and
+  /// post-mortems.
+  [[nodiscard]] std::string report() const {
+    std::ostringstream os;
+    os << "profiling scopes (calls / total s / per-call us):\n";
+    for (const Sample& s : samples()) {
+      const double per_call_us = s.calls == 0 ? 0.0 : s.total_seconds / static_cast<double>(s.calls) * 1e6;
+      os << "  " << s.name << ": " << s.calls << " / " << s.total_seconds << " / "
+         << per_call_us << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  static std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ProfSite>> sites_;
+};
+
+/// RAII accumulation into one site; no-op (no clock read) when disabled.
+class ProfScope {
+ public:
+  explicit ProfScope(ProfSite& site)
+      : site_(Profiler::enabled() ? &site : nullptr) {
+    if (site_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfScope() {
+    if (site_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      site_->calls.fetch_add(1, std::memory_order_relaxed);
+      site_->total_ns.fetch_add(static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+    }
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  ProfSite* site_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Enables profiling for a lexical region (and restores on exit).
+class ProfilerSession {
+ public:
+  ProfilerSession() : prev_(Profiler::enabled()) { Profiler::enable(true); }
+  ~ProfilerSession() { Profiler::enable(prev_); }
+  ProfilerSession(const ProfilerSession&) = delete;
+  ProfilerSession& operator=(const ProfilerSession&) = delete;
+
+ private:
+  bool prev_;
+};
+
+#define TTDC_PROF_CONCAT_INNER(a, b) a##b
+#define TTDC_PROF_CONCAT(a, b) TTDC_PROF_CONCAT_INNER(a, b)
+
+/// Accumulates the enclosing scope's wall time under `name` (a string
+/// literal). Site lookup happens once per callsite.
+#define TTDC_PROF_SCOPE(name)                                                  \
+  static ::ttdc::obs::ProfSite& TTDC_PROF_CONCAT(ttdc_prof_site_, __LINE__) =  \
+      ::ttdc::obs::Profiler::instance().site(name);                            \
+  ::ttdc::obs::ProfScope TTDC_PROF_CONCAT(ttdc_prof_scope_, __LINE__)(         \
+      TTDC_PROF_CONCAT(ttdc_prof_site_, __LINE__))
+
+}  // namespace ttdc::obs

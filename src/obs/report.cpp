@@ -1,0 +1,152 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+namespace ttdc::obs {
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_scalar(const JsonScalar& v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    return json_string(*s);
+  } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    os << *i;
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    if (std::isfinite(*d)) {
+      os << *d;
+    } else {
+      os << "null";
+    }
+  } else {
+    os << (std::get<bool>(v) ? "true" : "false");
+  }
+  return os.str();
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::param(const std::string& key, const std::string& value) {
+  params_.emplace_back(key, value);
+}
+void BenchReport::param(const std::string& key, const char* value) {
+  params_.emplace_back(key, std::string(value));
+}
+void BenchReport::param(const std::string& key, double value) {
+  params_.emplace_back(key, value);
+}
+void BenchReport::param(const std::string& key, bool value) { params_.emplace_back(key, value); }
+void BenchReport::param_int(const std::string& key, std::int64_t value) {
+  params_.emplace_back(key, value);
+}
+
+void BenchReport::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+void BenchReport::metric_int(const std::string& key, std::int64_t value) {
+  metrics_.emplace_back(key, value);
+}
+
+void BenchReport::add_snapshot(const std::vector<MetricSnapshot>& snapshot,
+                               const std::string& prefix) {
+  for (const MetricSnapshot& m : snapshot) {
+    switch (m.type) {
+      case MetricSnapshot::Type::kCounter:
+        metric(prefix + m.name, m.counter_value);
+        break;
+      case MetricSnapshot::Type::kGauge:
+        metric(prefix + m.name, m.gauge_value);
+        break;
+      case MetricSnapshot::Type::kHistogram:
+        metric(prefix + m.name + "_count", m.count);
+        metric(prefix + m.name + "_sum", m.sum);
+        break;
+    }
+  }
+}
+
+void BenchReport::add_sim_stats(const std::string& prefix, const sim::SimStats& stats) {
+  metric(prefix + "_slots_run", stats.slots_run);
+  metric(prefix + "_generated", stats.generated);
+  metric(prefix + "_delivered", stats.delivered);
+  metric(prefix + "_transmissions", stats.transmissions);
+  metric(prefix + "_collisions", stats.collisions);
+  metric(prefix + "_queue_drops", stats.queue_drops);
+  metric(prefix + "_delivery_ratio", stats.delivery_ratio());
+  metric(prefix + "_awake_fraction", stats.awake_fraction());
+  metric(prefix + "_latency_mean_slots", stats.latency.mean());
+  metric(prefix + "_latency_p95_slots", stats.latency.percentile(95));
+}
+
+namespace {
+
+void write_object(std::ostringstream& os,
+                  const std::vector<std::pair<std::string, JsonScalar>>& kv) {
+  os << '{';
+  bool first = true;
+  for (const auto& [key, value] : kv) {
+    if (!first) os << ',';
+    first = false;
+    os << json_string(key) << ':' << json_scalar(value);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"name\":" << json_string(name_) << ",\"params\":";
+  write_object(os, params_);
+  os << ",\"metrics\":";
+  write_object(os, metrics_);
+  os << ",\"elapsed_seconds\":" << timer_.seconds() << "}\n";
+  return os.str();
+}
+
+bool BenchReport::write() const {
+  const char* dir = std::getenv("TTDC_BENCH_DIR");
+  return write_to(dir != nullptr && *dir != '\0' ? dir : ".");
+}
+
+bool BenchReport::write_to(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json();
+  out.flush();
+  const bool ok = static_cast<bool>(out);
+  if (ok) std::cout << "[bench report] wrote " << path << "\n";
+  return ok;
+}
+
+}  // namespace ttdc::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ttdc::obs {
+
+namespace {
+
+constexpr std::array<std::pair<sim::TraceEvent::Kind, const char*>, 9> kKindNames = {{
+    {sim::TraceEvent::Kind::kGenerated, "generated"},
+    {sim::TraceEvent::Kind::kTransmit, "transmit"},
+    {sim::TraceEvent::Kind::kHopDelivered, "hop_delivered"},
+    {sim::TraceEvent::Kind::kFinalDelivered, "final_delivered"},
+    {sim::TraceEvent::Kind::kCollision, "collision"},
+    {sim::TraceEvent::Kind::kReceiverAsleep, "receiver_asleep"},
+    {sim::TraceEvent::Kind::kChannelLoss, "channel_loss"},
+    {sim::TraceEvent::Kind::kSyncLoss, "sync_loss"},
+    {sim::TraceEvent::Kind::kQueueDrop, "queue_drop"},
+}};
+
+}  // namespace
+
+const char* kind_name(sim::TraceEvent::Kind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "unknown";
+}
+
+bool kind_from_name(std::string_view name, sim::TraceEvent::Kind& out) {
+  for (const auto& [k, n] : kKindNames) {
+    if (name == n) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_jsonl(std::ostream& out, const sim::TraceEvent& event) {
+  out << "{\"kind\":\"" << kind_name(event.kind) << "\",\"slot\":" << event.slot
+      << ",\"node\":" << event.node << ",\"peer\":" << event.peer
+      << ",\"packet\":" << event.packet_id << "}\n";
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) : owned_(path), out_(&owned_) {
+  if (!owned_) {
+    throw std::runtime_error("JsonlTraceSink: cannot open " + path);
+  }
+}
+
+void JsonlTraceSink::operator()(const sim::TraceEvent& event) {
+  write_jsonl(*out_, event);
+  ++written_;
+}
+
+void JsonlTraceSink::flush() { out_->flush(); }
+
+RingBufferTraceSink::RingBufferTraceSink(std::size_t capacity)
+    : buf_(capacity == 0 ? 1 : capacity) {}
+
+void RingBufferTraceSink::operator()(const sim::TraceEvent& event) {
+  buf_[next_] = event;
+  next_ = next_ + 1 == buf_.size() ? 0 : next_ + 1;
+  ++seen_;
+}
+
+std::size_t RingBufferTraceSink::size() const {
+  return seen_ < buf_.size() ? static_cast<std::size_t>(seen_) : buf_.size();
+}
+
+std::vector<sim::TraceEvent> RingBufferTraceSink::events() const {
+  const std::size_t n = size();
+  std::vector<sim::TraceEvent> out;
+  out.reserve(n);
+  // Oldest retained event: at index 0 until the buffer wraps, then at next_.
+  const std::size_t start = seen_ < buf_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  }
+  return out;
+}
+
+void RingBufferTraceSink::clear() {
+  next_ = 0;
+  seen_ = 0;
+}
+
+std::string RingBufferTraceSink::dump() const {
+  std::ostringstream os;
+  os << "last " << size() << " of " << seen_ << " trace events:\n";
+  for (const sim::TraceEvent& e : events()) {
+    os << "  slot " << e.slot << ' ' << kind_name(e.kind) << ' ' << e.node << "->" << e.peer
+       << " #" << e.packet_id << '\n';
+  }
+  return os.str();
+}
+
+TraceFn filtered(std::uint32_t kind_mask, TraceFn downstream) {
+  return [kind_mask, downstream = std::move(downstream)](const sim::TraceEvent& e) {
+    if (kind_bit(e.kind) & kind_mask) downstream(e);
+  };
+}
+
+TraceFn fan_out(std::vector<TraceFn> sinks) {
+  if (sinks.empty()) return {};
+  if (sinks.size() == 1) return std::move(sinks.front());
+  return [sinks = std::move(sinks)](const sim::TraceEvent& e) {
+    for (const TraceFn& sink : sinks) sink(e);
+  };
+}
+
+}  // namespace ttdc::obs

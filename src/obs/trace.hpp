@@ -1,0 +1,96 @@
+// Structured sinks for the simulator's TraceEvent hook.
+//
+// `SimConfig::trace` takes any callable; this header provides the standard
+// consumers — a JSONL file sink (one event object per line, replayable by
+// trace_replay.hpp), a bounded ring buffer keeping the last N events for
+// post-mortem on a failing run, a kind-mask filter, and a fan-out
+// combinator — all composing through the plain TraceFn function type.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ttdc::obs {
+
+using TraceFn = std::function<void(const sim::TraceEvent&)>;
+
+/// Stable wire name of an event kind ("generated", "transmit", ...).
+[[nodiscard]] const char* kind_name(sim::TraceEvent::Kind kind);
+
+/// Inverse of kind_name; false if `name` is not a known kind.
+bool kind_from_name(std::string_view name, sim::TraceEvent::Kind& out);
+
+/// Writes one event as a single JSON object line:
+///   {"kind":"transmit","slot":12,"node":3,"peer":4,"packet":77}
+void write_jsonl(std::ostream& out, const sim::TraceEvent& event);
+
+/// Streams events as JSONL to a file or borrowed stream. Not copyable;
+/// install with `config.trace = sink.fn()`.
+class JsonlTraceSink {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit JsonlTraceSink(const std::string& path);
+  /// Borrows `out` (must outlive the sink).
+  explicit JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+  void operator()(const sim::TraceEvent& event);
+  void flush();
+  [[nodiscard]] std::uint64_t events_written() const { return written_; }
+  /// Adapter for SimConfig::trace; the sink must outlive the simulator.
+  [[nodiscard]] TraceFn fn() {
+    return [this](const sim::TraceEvent& e) { (*this)(e); };
+  }
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_;
+  std::uint64_t written_ = 0;
+};
+
+/// Keeps the last `capacity` events (oldest evicted first); O(1) per event,
+/// no allocation after construction. The cheap always-on post-mortem sink.
+class RingBufferTraceSink {
+ public:
+  explicit RingBufferTraceSink(std::size_t capacity);
+
+  void operator()(const sim::TraceEvent& event);
+  /// Events still retained, oldest first.
+  [[nodiscard]] std::vector<sim::TraceEvent> events() const;
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+  /// Human-readable dump of the retained tail ("slot 12 transmit 3->4 #77"
+  /// per line) for attaching to a test failure.
+  [[nodiscard]] std::string dump() const;
+  [[nodiscard]] TraceFn fn() {
+    return [this](const sim::TraceEvent& e) { (*this)(e); };
+  }
+
+ private:
+  std::vector<sim::TraceEvent> buf_;
+  std::size_t next_ = 0;
+  std::uint64_t seen_ = 0;
+};
+
+/// Bitmask over TraceEvent::Kind for filtering.
+[[nodiscard]] constexpr std::uint32_t kind_bit(sim::TraceEvent::Kind kind) {
+  return std::uint32_t{1} << static_cast<std::uint8_t>(kind);
+}
+inline constexpr std::uint32_t kAllKinds = 0x1ffu;  // 9 kinds
+
+/// Forwards only events whose kind is in `kind_mask`.
+[[nodiscard]] TraceFn filtered(std::uint32_t kind_mask, TraceFn downstream);
+
+/// Forwards every event to every sink, in order. An empty list yields an
+/// empty TraceFn, which SimConfig treats as tracing disabled.
+[[nodiscard]] TraceFn fan_out(std::vector<TraceFn> sinks);
+
+}  // namespace ttdc::obs

@@ -1,0 +1,157 @@
+#include "obs/trace_replay.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/trace.hpp"
+
+namespace ttdc::obs {
+
+namespace {
+
+// The sink writes flat one-line objects with known keys, so targeted field
+// extraction is enough — no general JSON parser needed.
+bool find_uint_field(const std::string& line, const std::string& key, std::uint64_t& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtoull(p, &end, 10);
+  return end != p;
+}
+
+bool find_string_field(const std::string& line, const std::string& key, std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  const auto close = line.find('"', start);
+  if (close == std::string::npos) return false;
+  out = line.substr(start, close - start);
+  return true;
+}
+
+}  // namespace
+
+ReplayResult replay_jsonl(std::istream& in, std::size_t num_nodes) {
+  ReplayResult result;
+  sim::SimStats& st = result.stats;
+  st.delivered_by_origin.assign(num_nodes, 0);
+
+  // packet id -> creation slot, for latency reconstruction.
+  std::unordered_map<std::uint64_t, std::uint64_t> created;
+  std::uint64_t max_slot = 0;
+  bool any_event = false;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string kind_str;
+    std::uint64_t slot = 0, node = 0, peer = 0, packet = 0;
+    sim::TraceEvent::Kind kind;
+    if (!find_string_field(line, "kind", kind_str) || !kind_from_name(kind_str, kind) ||
+        !find_uint_field(line, "slot", slot) || !find_uint_field(line, "node", node) ||
+        !find_uint_field(line, "peer", peer) || !find_uint_field(line, "packet", packet)) {
+      result.errors.push_back(line);
+      continue;
+    }
+    ++result.events;
+    any_event = true;
+    max_slot = std::max(max_slot, slot);
+
+    switch (kind) {
+      case sim::TraceEvent::Kind::kGenerated:
+        ++st.generated;
+        created.emplace(packet, slot);
+        break;
+      case sim::TraceEvent::Kind::kTransmit:
+        ++st.transmissions;
+        break;
+      case sim::TraceEvent::Kind::kHopDelivered:
+        ++st.hop_successes;
+        break;
+      case sim::TraceEvent::Kind::kFinalDelivered: {
+        ++st.delivered;
+        ++st.hop_successes;
+        if (peer >= st.delivered_by_origin.size()) st.delivered_by_origin.resize(peer + 1, 0);
+        ++st.delivered_by_origin[peer];
+        if (const auto it = created.find(packet); it != created.end()) {
+          st.latency.record(slot - it->second);
+          created.erase(it);
+        }
+        break;
+      }
+      case sim::TraceEvent::Kind::kCollision:
+        ++st.collisions;
+        break;
+      case sim::TraceEvent::Kind::kReceiverAsleep:
+        ++st.receiver_asleep;
+        break;
+      case sim::TraceEvent::Kind::kChannelLoss:
+        ++st.channel_losses;
+        break;
+      case sim::TraceEvent::Kind::kSyncLoss:
+        ++st.sync_losses;
+        break;
+      case sim::TraceEvent::Kind::kQueueDrop:
+        ++st.queue_drops;
+        break;
+    }
+    if (num_nodes == 0) {
+      const std::size_t hi = std::max(node, peer) + 1;
+      if (hi > st.delivered_by_origin.size()) st.delivered_by_origin.resize(hi, 0);
+    }
+  }
+  st.slots_run = any_event ? max_slot + 1 : 0;
+  return result;
+}
+
+ReplayResult replay_jsonl_file(const std::string& path, std::size_t num_nodes) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("replay_jsonl_file: cannot open " + path);
+  return replay_jsonl(in, num_nodes);
+}
+
+std::vector<std::string> ReplayResult::check(const sim::SimStats& live) const {
+  std::vector<std::string> mismatches;
+  const auto expect = [&](const char* what, std::uint64_t replayed, std::uint64_t actual) {
+    if (replayed != actual) {
+      std::ostringstream os;
+      os << what << ": replayed " << replayed << " != live " << actual;
+      mismatches.push_back(os.str());
+    }
+  };
+  expect("generated", stats.generated, live.generated);
+  expect("transmissions", stats.transmissions, live.transmissions);
+  expect("delivered", stats.delivered, live.delivered);
+  expect("hop_successes", stats.hop_successes, live.hop_successes);
+  expect("collisions", stats.collisions, live.collisions);
+  expect("receiver_asleep", stats.receiver_asleep, live.receiver_asleep);
+  expect("channel_losses", stats.channel_losses, live.channel_losses);
+  expect("sync_losses", stats.sync_losses, live.sync_losses);
+  expect("queue_drops", stats.queue_drops, live.queue_drops);
+  expect("latency samples", stats.latency.count(), live.latency.count());
+  if (stats.latency.count() == live.latency.count() && stats.latency.count() > 0) {
+    expect("latency max", stats.latency.max(), live.latency.max());
+  }
+  for (std::size_t v = 0; v < live.delivered_by_origin.size(); ++v) {
+    const std::uint64_t replayed =
+        v < stats.delivered_by_origin.size() ? stats.delivered_by_origin[v] : 0;
+    if (replayed != live.delivered_by_origin[v]) {
+      std::ostringstream os;
+      os << "delivered_by_origin[" << v << "]: replayed " << replayed << " != live "
+         << live.delivered_by_origin[v];
+      mismatches.push_back(os.str());
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace ttdc::obs

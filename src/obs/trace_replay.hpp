@@ -1,0 +1,38 @@
+// Replays a JSONL event trace (written by JsonlTraceSink) back into
+// SimStats — self-validating telemetry: a trace is complete iff the
+// counters it reconstructs match the live run's counters exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace ttdc::obs {
+
+struct ReplayResult {
+  /// Counters reconstructed from events. Only event-derived fields are
+  /// populated: generated, transmissions, delivered, hop_successes,
+  /// collisions, receiver_asleep, channel_losses, sync_losses, queue_drops,
+  /// delivered_by_origin, latency. slots_run is the highest slot observed
+  /// + 1 (a lower bound: trailing event-free slots leave no trace).
+  sim::SimStats stats;
+  std::uint64_t events = 0;
+  /// Lines that failed to parse (malformed kind or missing fields).
+  std::vector<std::string> errors;
+
+  /// Compares every reconstructable counter against a live run's stats;
+  /// returns one human-readable line per mismatch (empty == consistent).
+  [[nodiscard]] std::vector<std::string> check(const sim::SimStats& live) const;
+};
+
+/// Parses JSONL events from `in`. `num_nodes` sizes delivered_by_origin;
+/// pass 0 to size it from the largest node id seen.
+[[nodiscard]] ReplayResult replay_jsonl(std::istream& in, std::size_t num_nodes = 0);
+
+/// File convenience wrapper; throws std::runtime_error if unreadable.
+[[nodiscard]] ReplayResult replay_jsonl_file(const std::string& path,
+                                             std::size_t num_nodes = 0);
+
+}  // namespace ttdc::obs

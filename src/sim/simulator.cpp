@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/profile.hpp"
+
 namespace ttdc::sim {
 
 Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
@@ -16,6 +18,24 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
   was_asleep_.assign(graph_.num_nodes(), true);  // nodes boot asleep
   battery_.assign(graph_.num_nodes(), config_.battery_mj);
   dead_ = util::DynamicBitset(graph_.num_nodes());
+  tracing_ = static_cast<bool>(config_.trace);
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    hot_.generated = &m.counter("ttdc_sim_generated_total", "packets generated");
+    hot_.transmissions = &m.counter("ttdc_sim_transmissions_total", "transmission attempts");
+    hot_.hop_successes = &m.counter("ttdc_sim_hop_successes_total", "per-hop receptions");
+    hot_.delivered = &m.counter("ttdc_sim_delivered_total", "end-to-end deliveries");
+    hot_.collisions = &m.counter("ttdc_sim_collisions_total", "collision losses");
+    hot_.receiver_asleep =
+        &m.counter("ttdc_sim_receiver_asleep_total", "losses to sleeping receivers");
+    hot_.channel_losses = &m.counter("ttdc_sim_channel_losses_total", "channel-error losses");
+    hot_.sync_losses = &m.counter("ttdc_sim_sync_losses_total", "sync-miss losses");
+    hot_.queue_drops = &m.counter("ttdc_sim_queue_drops_total", "queue drops");
+    hot_.latency = &m.histogram(
+        "ttdc_sim_latency_slots",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384},
+        "end-to-end delivery latency in slots");
+  }
 }
 
 void Simulator::set_graph(net::Graph graph) {
@@ -28,6 +48,7 @@ void Simulator::set_graph(net::Graph graph) {
 void Simulator::inject(std::size_t origin, std::size_t destination) {
   if (dead_.test(origin)) return;  // a dead sensor senses nothing
   ++stats_.generated;
+  if (hot_.generated) hot_.generated->inc();
   Packet p;
   p.id = next_packet_id_++;
   p.origin = origin;
@@ -36,14 +57,8 @@ void Simulator::inject(std::size_t origin, std::size_t destination) {
   trace(TraceEvent::Kind::kGenerated, origin, destination, p.id);
   if (!queues_[origin].push(p)) {
     ++stats_.queue_drops;
+    if (hot_.queue_drops) hot_.queue_drops->inc();
     trace(TraceEvent::Kind::kQueueDrop, origin, origin, p.id);
-  }
-}
-
-void Simulator::trace(TraceEvent::Kind kind, std::size_t node, std::size_t peer,
-                      std::uint64_t packet_id) {
-  if (config_.trace) {
-    config_.trace(TraceEvent{kind, now_, node, peer, packet_id});
   }
 }
 
@@ -52,86 +67,110 @@ void Simulator::run(std::uint64_t slots) {
 }
 
 void Simulator::step() {
+  TTDC_PROF_SCOPE("sim.step");
   const std::size_t n = graph_.num_nodes();
-  traffic_.generate(now_, rng_, [&](std::size_t o, std::size_t d) { inject(o, d); });
-  mac_.begin_slot(now_, rng_);
+  {
+    TTDC_PROF_SCOPE("sim.step.traffic");
+    traffic_.generate(now_, rng_, [&](std::size_t o, std::size_t d) { inject(o, d); });
+    mac_.begin_slot(now_, rng_);
+  }
 
   // Phase 1: collect transmission attempts.
-  tx_nodes_.clear();
-  tx_targets_.clear();
-  transmitting_.reset_all();
-  for (std::size_t v = 0; v < n; ++v) {
-    if (dead_.test(v)) continue;
-    auto& q = queues_[v];
-    while (!q.empty()) {
-      const std::size_t hop = routing_.next_hop(v, q.front().destination);
-      if (hop == static_cast<std::size_t>(-1)) {
-        if (config_.drop_unroutable) {
-          ++stats_.queue_drops;
-          q.pop();
-          continue;  // look at the next packet
+  {
+    TTDC_PROF_SCOPE("sim.step.collect");
+    tx_nodes_.clear();
+    tx_targets_.clear();
+    transmitting_.reset_all();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dead_.test(v)) continue;
+      auto& q = queues_[v];
+      while (!q.empty()) {
+        const std::size_t hop = routing_.next_hop(v, q.front().destination);
+        if (hop == static_cast<std::size_t>(-1)) {
+          if (config_.drop_unroutable) {
+            ++stats_.queue_drops;
+            if (hot_.queue_drops) hot_.queue_drops->inc();
+            trace(TraceEvent::Kind::kQueueDrop, v, q.front().origin, q.front().id);
+            q.pop();
+            continue;  // look at the next packet
+          }
+          break;  // stall
         }
-        break;  // stall
+        if (mac_.wants_transmit(v, hop)) {
+          tx_nodes_.push_back(v);
+          tx_targets_.push_back(hop);
+          transmitting_.set(v);
+          trace(TraceEvent::Kind::kTransmit, v, hop, q.front().id);
+        }
+        break;
       }
-      if (mac_.wants_transmit(v, hop)) {
-        tx_nodes_.push_back(v);
-        tx_targets_.push_back(hop);
-        transmitting_.set(v);
-        trace(TraceEvent::Kind::kTransmit, v, hop, q.front().id);
-      }
-      break;
     }
   }
 
   // Phase 2: resolve receptions under the collision-at-receiver model.
-  stats_.transmissions += tx_nodes_.size();
-  for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
-    const std::size_t x = tx_nodes_[i];
-    const std::size_t y = tx_targets_[i];
-    if (dead_.test(y) || !mac_.can_receive(y) || transmitting_.test(y)) {
-      ++stats_.receiver_asleep;
-      trace(TraceEvent::Kind::kReceiverAsleep, y, x, queues_[x].front().id);
-      continue;
-    }
-    // Collision iff any other transmitter is in y's neighborhood.
-    util::DynamicBitset interferers = graph_.neighbors(y) & transmitting_;
-    interferers.reset(x);
-    if (interferers.any()) {
-      ++stats_.collisions;
-      trace(TraceEvent::Kind::kCollision, y, x, queues_[x].front().id);
-      continue;
-    }
-    // Channel imperfections: slot misalignment, then fading/noise.
-    if (config_.sync_miss_rate > 0.0 && rng_.bernoulli(config_.sync_miss_rate)) {
-      ++stats_.sync_losses;
-      trace(TraceEvent::Kind::kSyncLoss, y, x, queues_[x].front().id);
-      continue;
-    }
-    if (config_.packet_error_rate > 0.0 && rng_.bernoulli(config_.packet_error_rate)) {
-      ++stats_.channel_losses;
-      trace(TraceEvent::Kind::kChannelLoss, y, x, queues_[x].front().id);
-      continue;
-    }
-    // Success: dequeue at x, deliver or forward at y.
-    Packet p = queues_[x].front();
-    queues_[x].pop();
-    ++stats_.hop_successes;
-    ++p.hops;
-    if (p.destination == y) {
-      ++stats_.delivered;
-      ++stats_.delivered_by_origin[p.origin];
-      stats_.latency.record(now_ - p.created_slot);
-      trace(TraceEvent::Kind::kFinalDelivered, y, p.origin, p.id);
-    } else {
-      trace(TraceEvent::Kind::kHopDelivered, y, x, p.id);
-      if (!queues_[y].push(p)) {
-        ++stats_.queue_drops;
-        trace(TraceEvent::Kind::kQueueDrop, y, p.origin, p.id);
+  {
+    TTDC_PROF_SCOPE("sim.step.resolve");
+    stats_.transmissions += tx_nodes_.size();
+    if (hot_.transmissions) hot_.transmissions->inc(tx_nodes_.size());
+    for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
+      const std::size_t x = tx_nodes_[i];
+      const std::size_t y = tx_targets_[i];
+      if (dead_.test(y) || !mac_.can_receive(y) || transmitting_.test(y)) {
+        ++stats_.receiver_asleep;
+        if (hot_.receiver_asleep) hot_.receiver_asleep->inc();
+        trace(TraceEvent::Kind::kReceiverAsleep, y, x, queues_[x].front().id);
+        continue;
+      }
+      // Collision iff any other transmitter is in y's neighborhood.
+      util::DynamicBitset interferers = graph_.neighbors(y) & transmitting_;
+      interferers.reset(x);
+      if (interferers.any()) {
+        ++stats_.collisions;
+        if (hot_.collisions) hot_.collisions->inc();
+        trace(TraceEvent::Kind::kCollision, y, x, queues_[x].front().id);
+        continue;
+      }
+      // Channel imperfections: slot misalignment, then fading/noise.
+      if (config_.sync_miss_rate > 0.0 && rng_.bernoulli(config_.sync_miss_rate)) {
+        ++stats_.sync_losses;
+        if (hot_.sync_losses) hot_.sync_losses->inc();
+        trace(TraceEvent::Kind::kSyncLoss, y, x, queues_[x].front().id);
+        continue;
+      }
+      if (config_.packet_error_rate > 0.0 && rng_.bernoulli(config_.packet_error_rate)) {
+        ++stats_.channel_losses;
+        if (hot_.channel_losses) hot_.channel_losses->inc();
+        trace(TraceEvent::Kind::kChannelLoss, y, x, queues_[x].front().id);
+        continue;
+      }
+      // Success: dequeue at x, deliver or forward at y.
+      Packet p = queues_[x].front();
+      queues_[x].pop();
+      ++stats_.hop_successes;
+      if (hot_.hop_successes) hot_.hop_successes->inc();
+      ++p.hops;
+      if (p.destination == y) {
+        ++stats_.delivered;
+        ++stats_.delivered_by_origin[p.origin];
+        stats_.latency.record(now_ - p.created_slot);
+        if (hot_.delivered) {
+          hot_.delivered->inc();
+          hot_.latency->observe(static_cast<double>(now_ - p.created_slot));
+        }
+        trace(TraceEvent::Kind::kFinalDelivered, y, p.origin, p.id);
+      } else {
+        trace(TraceEvent::Kind::kHopDelivered, y, x, p.id);
+        if (!queues_[y].push(p)) {
+          ++stats_.queue_drops;
+          if (hot_.queue_drops) hot_.queue_drops->inc();
+          trace(TraceEvent::Kind::kQueueDrop, y, p.origin, p.id);
+        }
       }
     }
   }
 
   // Phase 3: energy accounting (dead nodes draw nothing and stay dead).
+  TTDC_PROF_SCOPE("sim.step.energy");
   for (std::size_t v = 0; v < n; ++v) {
     if (dead_.test(v)) continue;
     RadioState state;

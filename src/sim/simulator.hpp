@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "obs/metrics.hpp"
 #include "sim/mac.hpp"
 #include "sim/packet.hpp"
 #include "sim/stats.hpp"
@@ -61,8 +62,14 @@ struct SimConfig {
   double packet_error_rate = 0.0;
   double sync_miss_rate = 0.0;
   /// Optional per-event hook; leave empty for zero overhead on the hot
-  /// path beyond a branch.
+  /// path beyond a branch. Structured sinks (JSONL, ring buffer, filters,
+  /// fan-out) live in obs/trace.hpp and plug in via their fn() adapters.
   std::function<void(const TraceEvent&)> trace;
+  /// Optional metrics registry. When set, the simulator registers
+  /// `ttdc_sim_*_total` counters and a `ttdc_sim_latency_slots` histogram
+  /// at construction and bumps them live on the hot path (one pre-resolved
+  /// relaxed atomic increment per event); leave null for zero overhead.
+  obs::MetricsRegistry* metrics = nullptr;
   /// Per-node battery budget in millijoules; 0 means unlimited. When a
   /// node's budget (drained per slot by radio state and per wakeup, using
   /// `energy`) reaches zero the node dies: it stops generating,
@@ -103,8 +110,28 @@ class Simulator {
  private:
   void inject(std::size_t origin, std::size_t destination);
   void step();
+  /// Trace emission stays a single predictable branch (`tracing_`, fixed at
+  /// construction) when tracing is disabled; the std::function indirection
+  /// is only paid on the enabled path.
   void trace(TraceEvent::Kind kind, std::size_t node, std::size_t peer,
-             std::uint64_t packet_id);
+             std::uint64_t packet_id) {
+    if (!tracing_) return;
+    config_.trace(TraceEvent{kind, now_, node, peer, packet_id});
+  }
+
+  /// Live hot-path metric handles (all null when config.metrics is null).
+  struct HotMetrics {
+    obs::Counter* generated = nullptr;
+    obs::Counter* transmissions = nullptr;
+    obs::Counter* hop_successes = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* collisions = nullptr;
+    obs::Counter* receiver_asleep = nullptr;
+    obs::Counter* channel_losses = nullptr;
+    obs::Counter* sync_losses = nullptr;
+    obs::Counter* queue_drops = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
 
   net::Graph graph_;
   MacProtocol& mac_;
@@ -114,6 +141,8 @@ class Simulator {
   RoutingTable routing_;
   std::vector<PacketQueue> queues_;
   SimStats stats_;
+  HotMetrics hot_;
+  bool tracing_ = false;
   std::uint64_t now_ = 0;
   std::uint64_t next_packet_id_ = 0;
 

@@ -8,13 +8,6 @@
 
 namespace ttdc::sim {
 
-void LatencyStats::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-}
-
 double LatencyStats::mean() const {
   if (samples_.empty()) return 0.0;
   double sum = 0.0;
@@ -29,10 +22,11 @@ std::uint64_t LatencyStats::max() const {
 
 std::uint64_t LatencyStats::percentile(double pct) const {
   if (samples_.empty()) return 0;
-  ensure_sorted();
   const double rank = pct / 100.0 * static_cast<double>(samples_.size());
   std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
   idx = std::min(idx, samples_.size() - 1);
+  std::nth_element(samples_.begin(), samples_.begin() + static_cast<std::ptrdiff_t>(idx),
+                   samples_.end());
   return samples_[idx];
 }
 

@@ -12,6 +12,11 @@
 namespace ttdc::sim {
 
 /// Streaming latency statistics (slots from creation to final delivery).
+///
+/// percentile() selects with std::nth_element (expected O(n)) on each
+/// query instead of caching a full sort: queries stay correct no matter
+/// how record() and percentile() calls interleave (a cached sorted flag
+/// here once silently corrupted mid-run probes).
 class LatencyStats {
  public:
   void record(std::uint64_t latency_slots) { samples_.push_back(latency_slots); }
@@ -23,9 +28,8 @@ class LatencyStats {
   [[nodiscard]] std::uint64_t percentile(double pct) const;
 
  private:
+  // mutable: percentile() reorders (never resizes) the samples in place.
   mutable std::vector<std::uint64_t> samples_;
-  mutable bool sorted_ = false;
-  void ensure_sorted() const;
 };
 
 struct SimStats {

@@ -1,0 +1,435 @@
+// The observability layer: metrics registry + Prometheus exposition,
+// structured trace sinks and combinators, JSONL trace -> replay -> stats
+// round trip, latency percentile correctness under interleaved queries,
+// profiling scopes, and the BENCH_*.json report writer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "combinatorics/constructions.hpp"
+#include "core/builders.hpp"
+#include "net/topology.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_replay.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::obs {
+namespace {
+
+sim::TraceEvent event(sim::TraceEvent::Kind kind, std::uint64_t slot, std::size_t node,
+                      std::size_t peer, std::uint64_t packet) {
+  return sim::TraceEvent{kind, slot, node, peer, packet};
+}
+
+// ---------------------------------------------------------------------------
+// LatencyStats: the interleaved record()/percentile() regression.
+
+TEST(LatencyStats, InterleavedRecordAndPercentileStaysCorrect) {
+  // The old implementation cached a sorted flag that record() forgot to
+  // reset, so a percentile probe mid-run froze the distribution. Interleave
+  // queries with appends and check against a freshly-built oracle each time.
+  sim::LatencyStats stats;
+  std::vector<std::uint64_t> oracle;
+  util::Xoshiro256 rng(99);
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 7; ++k) {
+      const std::uint64_t v = rng.below(1000);
+      stats.record(v);
+      oracle.push_back(v);
+    }
+    for (const double pct : {0.0, 50.0, 90.0, 100.0}) {
+      std::vector<std::uint64_t> sorted = oracle;
+      std::sort(sorted.begin(), sorted.end());
+      const double rank = pct / 100.0 * static_cast<double>(sorted.size());
+      std::size_t idx =
+          rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+      idx = std::min(idx, sorted.size() - 1);
+      ASSERT_EQ(stats.percentile(pct), sorted[idx])
+          << "pct=" << pct << " after " << oracle.size() << " samples";
+    }
+  }
+  EXPECT_EQ(stats.count(), oracle.size());
+}
+
+TEST(LatencyStats, PercentileNearestRankOnKnownValues) {
+  sim::LatencyStats stats;
+  for (const std::uint64_t v : {15u, 20u, 35u, 40u, 50u}) stats.record(v);
+  EXPECT_EQ(stats.percentile(0), 15u);
+  EXPECT_EQ(stats.percentile(30), 20u);
+  EXPECT_EQ(stats.percentile(40), 20u);
+  EXPECT_EQ(stats.percentile(50), 35u);
+  EXPECT_EQ(stats.percentile(100), 50u);
+  EXPECT_EQ(stats.max(), 50u);
+}
+
+TEST(LatencyStats, EmptyPercentileIsZero) {
+  const sim::LatencyStats stats;
+  EXPECT_EQ(stats.percentile(50), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(Metrics, CounterGaugeHistogramRoundTrip) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("events_total", "event count");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&registry.counter("events_total"), &c);  // same handle, idempotent
+
+  Gauge& g = registry.gauge("queue_depth");
+  g.set(3.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+
+  Histogram& h = registry.histogram("latency", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(5000.0);  // only the implicit +Inf bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5005.5);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{1, 1, 0}));
+
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);  // map-ordered: counter, gauge, histogram
+  bool saw_counter = false, saw_hist = false;
+  for (const auto& s : snapshot) {
+    if (s.name == "events_total") {
+      EXPECT_EQ(s.type, MetricSnapshot::Type::kCounter);
+      EXPECT_EQ(s.counter_value, 42u);
+      saw_counter = true;
+    }
+    if (s.name == "latency") {
+      EXPECT_EQ(s.type, MetricSnapshot::Type::kHistogram);
+      EXPECT_EQ(s.count, 3u);
+      saw_hist = true;
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(Metrics, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.counter("ttdc_demo_total", "demo counter").inc(7);
+  registry.gauge("ttdc demo gauge").set(1.25);  // spaces must be sanitized
+  Histogram& h = registry.histogram("ttdc_lat", {1.0, 8.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(100.0);
+
+  const std::string text = prometheus_text(registry);
+  EXPECT_NE(text.find("# TYPE ttdc_demo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP ttdc_demo_total demo counter"), std::string::npos);
+  EXPECT_NE(text.find("ttdc_demo_total 7"), std::string::npos);
+  EXPECT_NE(text.find("ttdc_demo_gauge 1.25"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("ttdc_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ttdc_lat_bucket{le=\"8\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("ttdc_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("ttdc_lat_count 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sinks and combinators.
+
+TEST(TraceSinks, KindNamesRoundTrip) {
+  using Kind = sim::TraceEvent::Kind;
+  for (const Kind k : {Kind::kGenerated, Kind::kTransmit, Kind::kHopDelivered,
+                       Kind::kFinalDelivered, Kind::kCollision, Kind::kReceiverAsleep,
+                       Kind::kChannelLoss, Kind::kSyncLoss, Kind::kQueueDrop}) {
+    Kind back{};
+    ASSERT_TRUE(kind_from_name(kind_name(k), back)) << kind_name(k);
+    EXPECT_EQ(back, k);
+  }
+  Kind unused{};
+  EXPECT_FALSE(kind_from_name("definitely_not_a_kind", unused));
+}
+
+TEST(TraceSinks, RingBufferKeepsLastNInOrder) {
+  RingBufferTraceSink ring(4);
+  EXPECT_EQ(ring.size(), 0u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring(event(sim::TraceEvent::Kind::kTransmit, i, 1, 2, i));
+  }
+  EXPECT_EQ(ring.seen(), 10u);
+  EXPECT_EQ(ring.size(), 4u);
+  const auto kept = ring.events();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(kept[i].slot, 6u + i);  // oldest first
+  EXPECT_NE(ring.dump().find("transmit"), std::string::npos);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.seen(), 0u);
+}
+
+TEST(TraceSinks, FilteredForwardsOnlyMaskedKinds) {
+  std::vector<sim::TraceEvent> got;
+  TraceFn fn = filtered(kind_bit(sim::TraceEvent::Kind::kCollision),
+                        [&](const sim::TraceEvent& e) { got.push_back(e); });
+  fn(event(sim::TraceEvent::Kind::kTransmit, 1, 0, 1, 0));
+  fn(event(sim::TraceEvent::Kind::kCollision, 2, 0, 1, 0));
+  fn(event(sim::TraceEvent::Kind::kGenerated, 3, 0, 1, 0));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].kind, sim::TraceEvent::Kind::kCollision);
+}
+
+TEST(TraceSinks, FanOutDeliversToEverySinkInOrder) {
+  std::vector<int> order;
+  TraceFn fn = fan_out({[&](const sim::TraceEvent&) { order.push_back(1); },
+                        [&](const sim::TraceEvent&) { order.push_back(2); }});
+  fn(event(sim::TraceEvent::Kind::kTransmit, 0, 0, 1, 0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // Empty fan-out collapses to an empty TraceFn == tracing disabled.
+  EXPECT_FALSE(static_cast<bool>(fan_out({})));
+}
+
+TEST(TraceSinks, JsonlSinkWritesOneObjectPerLine) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  sink(event(sim::TraceEvent::Kind::kTransmit, 12, 3, 4, 77));
+  sink(event(sim::TraceEvent::Kind::kQueueDrop, 13, 5, 6, 78));
+  sink.flush();
+  EXPECT_EQ(sink.events_written(), 2u);
+  EXPECT_EQ(out.str(),
+            "{\"kind\":\"transmit\",\"slot\":12,\"node\":3,\"peer\":4,\"packet\":77}\n"
+            "{\"kind\":\"queue_drop\",\"slot\":13,\"node\":5,\"peer\":6,\"packet\":78}\n");
+}
+
+// ---------------------------------------------------------------------------
+// JSONL trace -> replay -> stats round trip (the acceptance criterion).
+
+TEST(TraceReplay, TenThousandSlotRoundTripMatchesLiveStatsExactly) {
+  // A lossy, collision-prone run so every counter is exercised: slotted
+  // ALOHA on a random degree-bounded graph plus channel/sync error knobs.
+  constexpr std::size_t kN = 25;
+  util::Xoshiro256 rng(12);
+  const net::Graph g = net::random_bounded_degree_graph(kN, 4, 2 * kN, rng);
+  sim::SlottedAlohaMac mac(kN, 0.15);
+  sim::BernoulliTraffic traffic(kN, 0.02);
+
+  std::ostringstream trace_stream;
+  JsonlTraceSink sink(trace_stream);
+  sim::SimConfig config;
+  config.seed = 777;
+  config.packet_error_rate = 0.05;
+  config.sync_miss_rate = 0.03;
+  config.queue_capacity = 8;  // force queue drops too
+  config.trace = sink.fn();
+  sim::Simulator sim(g, mac, traffic, config);
+  sim.run(10000);
+  sink.flush();
+
+  const auto& live = sim.stats();
+  ASSERT_GT(live.delivered, 0u);
+  ASSERT_GT(live.collisions, 0u);
+  ASSERT_GT(live.channel_losses, 0u);
+  ASSERT_GT(live.sync_losses, 0u);
+
+  std::istringstream in(trace_stream.str());
+  const ReplayResult replay = replay_jsonl(in, kN);
+  EXPECT_TRUE(replay.errors.empty());
+  EXPECT_EQ(replay.events, sink.events_written());
+
+  // The headline acceptance counters, exactly.
+  EXPECT_EQ(replay.stats.delivered, live.delivered);
+  EXPECT_EQ(replay.stats.collisions, live.collisions);
+  EXPECT_EQ(replay.stats.transmissions, live.transmissions);
+  // And the full cross-check reports zero mismatches.
+  const auto mismatches = replay.check(live);
+  EXPECT_TRUE(mismatches.empty())
+      << "replay mismatches:\n"
+      << [&] {
+           std::string all;
+           for (const auto& m : mismatches) all += "  " + m + "\n";
+           return all;
+         }();
+}
+
+TEST(TraceReplay, FileRoundTripAndMismatchDetection) {
+  const std::string path = testing::TempDir() + "/ttdc_test_trace.jsonl";
+  {
+    JsonlTraceSink sink(path);
+    const core::Schedule s = core::non_sleeping_from_family(comb::tdma_family(4));
+    sim::DutyCycledScheduleMac mac(s);
+    sim::BernoulliTraffic traffic(4, 0.05);
+    sim::SimConfig config;
+    config.seed = 5;
+    config.trace = sink.fn();
+    sim::Simulator sim(net::ring_graph(4), mac, traffic, config);
+    sim.run(2000);
+    sink.flush();
+
+    const ReplayResult replay = replay_jsonl_file(path, 4);
+    EXPECT_TRUE(replay.errors.empty());
+    EXPECT_TRUE(replay.check(sim.stats()).empty());
+
+    // A doctored live-stats copy must be flagged.
+    sim::SimStats doctored = sim.stats();
+    doctored.delivered += 1;
+    EXPECT_FALSE(replay.check(doctored).empty());
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW((void)replay_jsonl_file("/nonexistent/dir/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(TraceReplay, MalformedLinesAreReportedNotFatal) {
+  std::istringstream in(
+      "{\"kind\":\"transmit\",\"slot\":1,\"node\":0,\"peer\":1,\"packet\":0}\n"
+      "not json at all\n"
+      "{\"kind\":\"unknown_kind\",\"slot\":2,\"node\":0,\"peer\":1,\"packet\":1}\n");
+  const ReplayResult replay = replay_jsonl(in, 2);
+  EXPECT_EQ(replay.events, 1u);
+  EXPECT_EQ(replay.stats.transmissions, 1u);
+  EXPECT_EQ(replay.errors.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Live hot-path metrics in the simulator.
+
+TEST(SimMetrics, RegistryCountersMatchFinalStats) {
+  MetricsRegistry registry;
+  const core::Schedule s = core::non_sleeping_from_family(comb::tdma_family(5));
+  sim::DutyCycledScheduleMac mac(s);
+  sim::BernoulliTraffic traffic(5, 0.04);
+  sim::SimConfig config;
+  config.seed = 21;
+  config.metrics = &registry;
+  sim::Simulator sim(net::ring_graph(5), mac, traffic, config);
+  sim.run(5000);
+
+  const auto& st = sim.stats();
+  ASSERT_GT(st.delivered, 0u);
+  EXPECT_EQ(registry.counter("ttdc_sim_generated_total").value(), st.generated);
+  EXPECT_EQ(registry.counter("ttdc_sim_transmissions_total").value(), st.transmissions);
+  EXPECT_EQ(registry.counter("ttdc_sim_delivered_total").value(), st.delivered);
+  EXPECT_EQ(registry.counter("ttdc_sim_collisions_total").value(), st.collisions);
+  for (const auto& snap : registry.snapshot()) {
+    if (snap.name == "ttdc_sim_latency_slots") {
+      EXPECT_EQ(snap.count, st.latency.count());
+    }
+  }
+}
+
+TEST(SimMetrics, PublishSimStatsExportsDerivedGauges) {
+  MetricsRegistry registry;
+  sim::SimStats stats;
+  stats.slots_run = 100;
+  stats.generated = 50;
+  stats.delivered = 40;
+  stats.transmissions = 60;
+  stats.hop_successes = 45;
+  publish_sim_stats(stats, registry, "demo");
+  bool saw_ratio = false;
+  for (const auto& snap : registry.snapshot()) {
+    if (snap.name == "demo_delivery_ratio") {
+      EXPECT_DOUBLE_EQ(snap.gauge_value, 0.8);
+      saw_ratio = true;
+    }
+  }
+  EXPECT_TRUE(saw_ratio);
+}
+
+// ---------------------------------------------------------------------------
+// Profiling scopes.
+
+TEST(Profiler, ScopesAccumulateOnlyWhenEnabled) {
+  Profiler::instance().reset();
+  Profiler::enable(false);
+  {
+    TTDC_PROF_SCOPE("test.disabled_scope");
+  }
+  {
+    ProfilerSession session;
+    for (int i = 0; i < 3; ++i) {
+      TTDC_PROF_SCOPE("test.enabled_scope");
+    }
+  }
+  EXPECT_FALSE(Profiler::enabled());  // session restored the flag
+  std::uint64_t disabled_calls = 0, enabled_calls = 0;
+  for (const auto& s : Profiler::instance().samples()) {
+    if (s.name == "test.disabled_scope") disabled_calls = s.calls;
+    if (s.name == "test.enabled_scope") enabled_calls = s.calls;
+  }
+  EXPECT_EQ(disabled_calls, 0u);
+  EXPECT_EQ(enabled_calls, 3u);
+
+  MetricsRegistry registry;
+  Profiler::instance().publish(registry);
+  bool saw = false;
+  for (const auto& snap : registry.snapshot()) {
+    if (snap.name == "prof_test_enabled_scope_calls") {
+      EXPECT_DOUBLE_EQ(snap.gauge_value, 3.0);
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+  EXPECT_NE(Profiler::instance().report().find("test.enabled_scope"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Bench reports.
+
+TEST(BenchReport, JsonSchemaAndFileOutput) {
+  BenchReport report("unit_test");
+  report.param("n", 25);
+  report.param("label", "abc\"def");  // needs escaping
+  report.param("rate", 0.25);
+  report.param("enabled", true);
+  report.metric("delivered", std::uint64_t{123});
+  report.metric("ratio", 0.5);
+  report.metric("bad", std::numeric_limits<double>::quiet_NaN());
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"name\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":25"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"abc\\\"def\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"delivered\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"bad\":null"), std::string::npos);  // NaN -> null
+  EXPECT_NE(json.find("\"elapsed_seconds\":"), std::string::npos);
+
+  const std::string dir = testing::TempDir();
+  ASSERT_TRUE(report.write_to(dir));
+  const std::string path = dir + "/BENCH_unit_test.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"name\":\"unit_test\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, AddSimStatsAndSnapshot) {
+  BenchReport report("fold");
+  sim::SimStats stats;
+  stats.generated = 10;
+  stats.delivered = 9;
+  report.add_sim_stats("run", stats);
+
+  MetricsRegistry registry;
+  registry.counter("widget_total").inc(4);
+  report.add_snapshot(registry.snapshot(), "snap_");
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"run_delivered\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"snap_widget_total\":4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ttdc::obs
