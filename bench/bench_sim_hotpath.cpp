@@ -1,0 +1,103 @@
+// Slot-rate regression harness for the word-parallel simulator hot path
+// (DESIGN.md §8): measures scalar-vs-batched slots/sec for
+// n in {50, 100, 200, 400, 800} under DutyCycledScheduleMac with tracing
+// off, and gates on a >= 3x speedup at n = 400. Emits BENCH_sim_hotpath.json
+// (consumed by scripts/run_benches.sh --perf-check for regression tracking
+// against the committed baseline).
+#include <algorithm>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "combinatorics/constructions.hpp"
+#include "combinatorics/params.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "net/topology.hpp"
+#include "obs/report.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ttdc;
+
+constexpr std::uint64_t kWarmup = 2000;
+constexpr int kPairs = 9;
+constexpr double kGateN = 400;
+constexpr double kGateSpeedup = 3.0;
+
+// Timed slots scale down with n so every row costs comparable wall time.
+std::uint64_t timed_slots(std::size_t n) { return 4'000'000 / n; }
+
+double slot_rate_once(const net::Graph& g, const core::Schedule& duty, bool force_scalar) {
+  sim::DutyCycledScheduleMac mac(duty);
+  sim::BernoulliTraffic traffic(g.num_nodes(), 0.01);
+  sim::SimConfig config{.seed = 7};
+  config.force_scalar_pipeline = force_scalar;
+  sim::Simulator sim(g, mac, traffic, config);
+  sim.run(kWarmup);
+  const std::uint64_t timed = timed_slots(g.num_nodes());
+  util::Timer timer;
+  sim.run(timed);
+  return static_cast<double>(timed) / timer.seconds();
+}
+
+}  // namespace
+
+int main() {
+  obs::BenchReport report("sim_hotpath");
+  report.param("mac", "DutyCycledScheduleMac");
+  report.param("traffic", "bernoulli_0.01");
+  report.param("pairs", static_cast<std::int64_t>(kPairs));
+  report.param("warmup_slots", static_cast<std::int64_t>(kWarmup));
+  report.param("gate_n", static_cast<std::int64_t>(kGateN));
+  report.param("gate_speedup", kGateSpeedup);
+
+  bool gate_ok = false;
+  double gate_speedup = 0.0;
+  std::cout << "simulator hot path: scalar vs batched pipeline (slots/sec)\n"
+            << "    n     scalar/s    batched/s  speedup\n";
+  for (std::size_t n : {50, 100, 200, 400, 800}) {
+    util::Xoshiro256 rng(3);
+    const net::Graph g = net::random_bounded_degree_graph(n, 4, 2 * n, rng);
+    const core::Schedule duty = core::construct_duty_cycled(
+        core::non_sleeping_from_family(comb::build_plan(comb::best_plan(n, 4), n)), 4, 4,
+        n / 3);
+    // Back-to-back scalar/batched pairs scored by the median per-pair
+    // ratio: pairing cancels clock drift, the median discards load spikes
+    // (same methodology as the ring-sink budget in bench_scalability).
+    std::vector<double> ratios, scalar_rates, batched_rates;
+    slot_rate_once(g, duty, false);  // shared warmup rep, untimed
+    for (int rep = 0; rep < kPairs; ++rep) {
+      const double s = slot_rate_once(g, duty, true);
+      const double b = slot_rate_once(g, duty, false);
+      scalar_rates.push_back(s);
+      batched_rates.push_back(b);
+      ratios.push_back(b / s);
+    }
+    std::nth_element(ratios.begin(), ratios.begin() + kPairs / 2, ratios.end());
+    const double speedup = ratios[kPairs / 2];
+    const double scalar = *std::max_element(scalar_rates.begin(), scalar_rates.end());
+    const double batched = *std::max_element(batched_rates.begin(), batched_rates.end());
+    std::cout << "  " << n << "  " << scalar << "  " << batched << "  " << speedup
+              << "x\n";
+    std::string key = "n";
+    key += std::to_string(n);
+    report.metric(key + "_scalar_slots_per_sec", scalar);
+    report.metric(key + "_batched_slots_per_sec", batched);
+    report.metric(key + "_speedup", speedup);
+    if (static_cast<double>(n) == kGateN) {
+      gate_speedup = speedup;
+      gate_ok = speedup >= kGateSpeedup;
+    }
+  }
+  std::cout << "\nbatched speedup @ n=" << kGateN << ": " << gate_speedup
+            << "x (gate >= " << kGateSpeedup << "x): " << (gate_ok ? "CONFIRMED" : "FAILED")
+            << "\n";
+  report.metric("ok", gate_ok ? 1 : 0);
+  report.write();
+  return gate_ok ? 0 : 1;
+}

@@ -4,9 +4,23 @@
 # root. Exits non-zero if the build fails, any bench fails its paper-claim
 # check, or any report file is missing afterwards.
 #
-# Usage: scripts/run_benches.sh [build-dir]
+# Usage: scripts/run_benches.sh [--perf-check] [build-dir]
 #   TTDC_BENCH_DIR  overrides where reports are written (default: repo root)
+#
+# --perf-check: runs only bench_sim_hotpath and compares it against the
+# committed baseline (bench/baselines/), failing on a >25% regression of
+# any scalar-vs-batched speedup. The speedups are gated because the paired
+# measurement cancels machine load and clock drift; absolute slots/sec are
+# printed for context but not gated (they halve under a concurrent build).
+# Regenerate the baseline (copy BENCH_sim_hotpath.json over it) when the
+# pipeline legitimately changes shape.
 set -u
+
+perf_check=0
+if [ "${1:-}" = "--perf-check" ]; then
+  perf_check=1
+  shift
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
@@ -14,6 +28,53 @@ bench_dir="${TTDC_BENCH_DIR:-$repo_root}"
 export TTDC_BENCH_DIR="$bench_dir"
 
 cmake -B "$build_dir" -S "$repo_root" || exit 1
+
+if [ "$perf_check" -eq 1 ]; then
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_sim_hotpath || exit 1
+  echo "=== bench_sim_hotpath (perf check) ==="
+  "$build_dir/bench/bench_sim_hotpath" || exit 1
+  report="$bench_dir/BENCH_sim_hotpath.json"
+  baseline="$repo_root/bench/baselines/BENCH_sim_hotpath.baseline.json"
+  [ -s "$report" ] || { echo "MISSING REPORT: $report" >&2; exit 1; }
+  [ -s "$baseline" ] || { echo "MISSING BASELINE: $baseline" >&2; exit 1; }
+  python3 - "$report" "$baseline" <<'EOF'
+import json, sys
+
+TOLERANCE = 0.25  # fail when a metric drops more than 25% below baseline
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)["metrics"]
+with open(sys.argv[2]) as f:
+    baseline = json.load(f)["metrics"]
+
+failures = []
+for key, base in sorted(baseline.items()):
+    if key.endswith("_batched_slots_per_sec"):
+        cur = current.get(key)
+        print(f"  {key}: baseline {base:.4g}, current {cur:.4g} (informational)")
+        continue
+    if not key.endswith("_speedup"):
+        continue
+    cur = current.get(key)
+    if cur is None or base is None:
+        failures.append(f"{key}: missing (baseline {base}, current {cur})")
+        continue
+    floor = base * (1.0 - TOLERANCE)
+    verdict = "ok" if cur >= floor else "REGRESSION"
+    print(f"  {key}: baseline {base:.4g}, current {cur:.4g}, floor {floor:.4g}: {verdict}")
+    if cur < floor:
+        failures.append(f"{key}: {cur:.4g} < {floor:.4g} (baseline {base:.4g})")
+
+if failures:
+    print("perf check FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("perf check passed")
+EOF
+  exit $?
+fi
+
 cmake --build "$build_dir" -j "$(nproc)" || exit 1
 
 status=0

@@ -1,0 +1,27 @@
+#include "net/routing.hpp"
+
+namespace ttdc::net {
+
+RoutingTable::RoutingTable(const Graph& graph)
+    : graph_(&graph), columns_(graph.num_nodes()), built_(graph.num_nodes(), 0) {}
+
+void RoutingTable::set_graph(const Graph& graph) {
+  graph_ = &graph;
+  columns_.assign(graph.num_nodes(), {});
+  built_.assign(graph.num_nodes(), 0);
+}
+
+void RoutingTable::build_column(std::size_t dst) const {
+  auto parents = graph_->bfs_parents(dst);
+  parents[dst] = dst;
+  columns_[dst] = std::move(parents);
+  built_[dst] = 1;
+}
+
+std::size_t RoutingTable::cached_destinations() const {
+  std::size_t n = 0;
+  for (std::uint8_t b : built_) n += b;
+  return n;
+}
+
+}  // namespace ttdc::net

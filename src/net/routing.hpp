@@ -1,0 +1,52 @@
+// Shortest-hop next-hop routing over a Graph, with a lazy per-destination
+// cache.
+//
+// next_hop(u, dst) is the neighbor u forwards to on a shortest hop path to
+// dst. The table is a cache of BFS-parent columns, one per destination,
+// built on first use and invalidated wholesale by set_graph(): a simulator
+// slot asking for the same (node, destination) hop every slot (a stalled
+// queue head) pays one array load, and topology churn costs O(1) instead of
+// the eager all-pairs rebuild the previous implementation did — only the
+// destinations traffic actually uses are ever recomputed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace ttdc::net {
+
+class RoutingTable {
+ public:
+  /// Binds to `graph`; the graph must outlive the table. No routes are
+  /// computed until the first next_hop() query.
+  explicit RoutingTable(const Graph& graph);
+
+  /// Rebinds to `graph` (same node count) and invalidates every cached
+  /// column. O(number of previously built columns); no BFS runs here.
+  void set_graph(const Graph& graph);
+
+  /// Next hop from `from` toward `dst`; SIZE_MAX when unreachable;
+  /// dst itself when from == dst. Builds and caches the dst column (one
+  /// BFS) on first query for that destination.
+  [[nodiscard]] std::size_t next_hop(std::size_t from, std::size_t dst) const {
+    if (!built_[dst]) build_column(dst);
+    return columns_[dst][from];
+  }
+
+  /// Number of destination columns currently materialized (observability /
+  /// test hook for the cache behavior).
+  [[nodiscard]] std::size_t cached_destinations() const;
+
+ private:
+  void build_column(std::size_t dst) const;
+
+  const Graph* graph_;
+  // columns_[dst][u] = parent of u in the BFS tree rooted at dst.
+  mutable std::vector<std::vector<std::size_t>> columns_;
+  mutable std::vector<std::uint8_t> built_;
+};
+
+}  // namespace ttdc::net

@@ -4,6 +4,22 @@
 
 namespace ttdc::sim {
 
+// ------------------------------------------------------------ base fallback
+
+bool MacProtocol::fill_slot_sets(util::DynamicBitset& receivers,
+                                 util::DynamicBitset& transmitters) const {
+  // Scalar fallback for MACs that only implement the per-node interface:
+  // the receiver set is derivable from can_receive(), the transmitter set
+  // is not (wants_transmit() is target-dependent), so the simulator keeps
+  // querying wants_transmit()/idle_state() node-by-node.
+  receivers.reset_all();
+  for (std::size_t v = 0; v < receivers.size(); ++v) {
+    if (can_receive(v)) receivers.set(v);
+  }
+  (void)transmitters;
+  return false;
+}
+
 // ---------------------------------------------------------------- schedule
 
 DutyCycledScheduleMac::DutyCycledScheduleMac(const core::Schedule& schedule,
@@ -31,6 +47,18 @@ RadioState DutyCycledScheduleMac::idle_state(std::size_t node) const {
                                                      : RadioState::kSleep;
 }
 
+bool DutyCycledScheduleMac::fill_slot_sets(util::DynamicBitset& receivers,
+                                           util::DynamicBitset& transmitters) const {
+  if (schedule_.num_nodes() != receivers.size()) {
+    // Schedule built over a different universe than the simulated graph:
+    // keep the scalar path, which indexes per node and stays in bounds.
+    return MacProtocol::fill_slot_sets(receivers, transmitters);
+  }
+  receivers.copy_from(schedule_.receivers(frame_slot_));
+  transmitters.copy_from(schedule_.transmitters(frame_slot_));
+  return true;
+}
+
 // ------------------------------------------------------------------ aloha
 
 SlottedAlohaMac::SlottedAlohaMac(std::size_t num_nodes, double attempt_probability)
@@ -45,6 +73,13 @@ void SlottedAlohaMac::begin_slot(std::uint64_t, util::Xoshiro256& rng) {
 
 bool SlottedAlohaMac::wants_transmit(std::size_t node, std::size_t) const {
   return coin_.test(node);
+}
+
+bool SlottedAlohaMac::fill_slot_sets(util::DynamicBitset& receivers,
+                                     util::DynamicBitset& transmitters) const {
+  receivers.set_all();  // ALOHA never sleeps
+  transmitters.copy_from(coin_);
+  return true;
 }
 
 // ---------------------------------------------------------- uncoordinated
@@ -73,6 +108,13 @@ bool UncoordinatedSleepMac::wants_transmit(std::size_t node, std::size_t) const 
 
 RadioState UncoordinatedSleepMac::idle_state(std::size_t node) const {
   return awake_.test(node) ? RadioState::kListen : RadioState::kSleep;
+}
+
+bool UncoordinatedSleepMac::fill_slot_sets(util::DynamicBitset& receivers,
+                                           util::DynamicBitset& transmitters) const {
+  receivers.copy_from(awake_);
+  transmitters.copy_from(coin_);  // coin_ ⊆ awake_ by construction
+  return true;
 }
 
 // ------------------------------------------------------- common active period
@@ -105,6 +147,18 @@ RadioState CommonActivePeriodMac::idle_state(std::size_t) const {
   return in_active_ ? RadioState::kListen : RadioState::kSleep;
 }
 
+bool CommonActivePeriodMac::fill_slot_sets(util::DynamicBitset& receivers,
+                                           util::DynamicBitset& transmitters) const {
+  if (in_active_) {
+    receivers.set_all();
+    transmitters.copy_from(coin_);
+  } else {
+    receivers.reset_all();
+    transmitters.reset_all();
+  }
+  return true;
+}
+
 // ------------------------------------------------------------ coloring tdma
 
 std::vector<std::size_t> distance2_coloring(const net::Graph& graph) {
@@ -135,6 +189,8 @@ void ColoringTdmaMac::rebuild(const net::Graph& graph) {
   neighbor_.clear();
   neighbor_.reserve(graph.num_nodes());
   for (std::size_t v = 0; v < graph.num_nodes(); ++v) neighbor_.push_back(graph.neighbors(v));
+  color_members_.assign(num_colors_, util::DynamicBitset(graph.num_nodes()));
+  for (std::size_t v = 0; v < color_.size(); ++v) color_members_[color_[v]].set(v);
 }
 
 void ColoringTdmaMac::begin_slot(std::uint64_t slot, util::Xoshiro256&) {
@@ -148,6 +204,17 @@ bool ColoringTdmaMac::can_receive(std::size_t node) const {
 
 bool ColoringTdmaMac::wants_transmit(std::size_t node, std::size_t) const {
   return color_[node] == current_color_;
+}
+
+bool ColoringTdmaMac::fill_slot_sets(util::DynamicBitset& receivers,
+                                     util::DynamicBitset& transmitters) const {
+  const util::DynamicBitset& owners = color_members_[current_color_];
+  transmitters.copy_from(owners);
+  // Everyone else listens. An idle owner sleeps (no neighbor shares its
+  // color under a distance-2 coloring), so the batched sleep contract holds.
+  receivers.copy_from(owners);
+  receivers.flip_all();
+  return true;
 }
 
 RadioState ColoringTdmaMac::idle_state(std::size_t node) const {

@@ -46,6 +46,34 @@ class MacProtocol {
   /// receiver this slot.
   [[nodiscard]] virtual RadioState idle_state(std::size_t node) const = 0;
 
+  /// Batched slot-set interface (the simulator's word-parallel hot path).
+  ///
+  /// Populates, for the current slot, `receivers` with every node for which
+  /// can_receive() holds and `transmitters` with every node that would
+  /// transmit if backlogged (the target-independent part of
+  /// wants_transmit()). Returns true when both sets were produced, in which
+  /// case the simulator promises to honor this contract:
+  ///
+  ///   * a backlogged node v transmits iff transmitters.test(v) and, when
+  ///     sender_gates_on_receiver(), its next hop is in `receivers`;
+  ///   * a node that neither transmits nor appears in `receivers` SLEEPS
+  ///     (its idle_state() must be RadioState::kSleep) — all five in-tree
+  ///     MACs satisfy this by construction.
+  ///
+  /// The default implementation is the scalar fallback for out-of-tree
+  /// MACs: it fills `receivers` from can_receive() and returns false, which
+  /// makes the simulator fall back to per-node wants_transmit()/idle_state()
+  /// queries (correct, just not word-parallel). Both bitsets are sized to
+  /// the node count and arrive zeroed-or-stale; implementations must
+  /// overwrite them completely and must not allocate.
+  virtual bool fill_slot_sets(util::DynamicBitset& receivers,
+                              util::DynamicBitset& transmitters) const;
+
+  /// True when wants_transmit(x, y) additionally requires y to be an
+  /// eligible receiver this slot (schedule-aware senders). Only consulted
+  /// when fill_slot_sets() returned true.
+  [[nodiscard]] virtual bool sender_gates_on_receiver() const { return false; }
+
   /// Topology-change hook. Topology-transparent MACs ignore it; the
   /// coloring TDMA must rebuild. Returns true if the MAC had to
   /// reconfigure (counted by the mobility experiment).
@@ -68,6 +96,9 @@ class DutyCycledScheduleMac final : public MacProtocol {
   [[nodiscard]] bool can_receive(std::size_t node) const override;
   [[nodiscard]] bool wants_transmit(std::size_t node, std::size_t target) const override;
   [[nodiscard]] RadioState idle_state(std::size_t node) const override;
+  bool fill_slot_sets(util::DynamicBitset& receivers,
+                      util::DynamicBitset& transmitters) const override;
+  [[nodiscard]] bool sender_gates_on_receiver() const override { return aware_; }
 
  private:
   const core::Schedule& schedule_;
@@ -85,8 +116,10 @@ class SlottedAlohaMac final : public MacProtocol {
   [[nodiscard]] bool can_receive(std::size_t) const override { return true; }
   [[nodiscard]] bool wants_transmit(std::size_t node, std::size_t target) const override;
   [[nodiscard]] RadioState idle_state(std::size_t) const override {
-    return RadioState::kListen;
+    return RadioState::kListen;  // unreachable: every node can_receive
   }
+  bool fill_slot_sets(util::DynamicBitset& receivers,
+                      util::DynamicBitset& transmitters) const override;
 
  private:
   double p_;
@@ -104,6 +137,8 @@ class UncoordinatedSleepMac final : public MacProtocol {
   [[nodiscard]] bool can_receive(std::size_t node) const override;
   [[nodiscard]] bool wants_transmit(std::size_t node, std::size_t target) const override;
   [[nodiscard]] RadioState idle_state(std::size_t node) const override;
+  bool fill_slot_sets(util::DynamicBitset& receivers,
+                      util::DynamicBitset& transmitters) const override;
 
  private:
   double awake_p_;
@@ -128,6 +163,8 @@ class CommonActivePeriodMac final : public MacProtocol {
   [[nodiscard]] bool can_receive(std::size_t node) const override;
   [[nodiscard]] bool wants_transmit(std::size_t node, std::size_t target) const override;
   [[nodiscard]] RadioState idle_state(std::size_t node) const override;
+  bool fill_slot_sets(util::DynamicBitset& receivers,
+                      util::DynamicBitset& transmitters) const override;
 
   [[nodiscard]] double duty_cycle() const {
     return static_cast<double>(active_slots_) / static_cast<double>(frame_length_);
@@ -154,6 +191,8 @@ class ColoringTdmaMac final : public MacProtocol {
   [[nodiscard]] bool can_receive(std::size_t node) const override;
   [[nodiscard]] bool wants_transmit(std::size_t node, std::size_t target) const override;
   [[nodiscard]] RadioState idle_state(std::size_t node) const override;
+  bool fill_slot_sets(util::DynamicBitset& receivers,
+                      util::DynamicBitset& transmitters) const override;
   bool on_topology_change(const net::Graph& graph) override;
 
   [[nodiscard]] std::size_t num_colors() const { return num_colors_; }
@@ -164,6 +203,7 @@ class ColoringTdmaMac final : public MacProtocol {
 
   std::vector<std::size_t> color_;
   std::vector<util::DynamicBitset> neighbor_;  // adjacency snapshot at build
+  std::vector<util::DynamicBitset> color_members_;  // [color] -> node set
   std::size_t num_colors_ = 1;
   std::size_t current_color_ = 0;
   std::size_t recolor_count_ = 0;

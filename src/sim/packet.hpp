@@ -3,7 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 namespace ttdc::sim {
 
@@ -17,27 +17,41 @@ struct Packet {
 
 /// Bounded FIFO; pushes beyond capacity are dropped (and counted by the
 /// simulator as queue drops).
+///
+/// Backed by a fixed ring buffer allocated once at construction: push/pop on
+/// the simulator hot path never touch the heap (a deque here would allocate
+/// and free chunks as the head crossed block boundaries, violating the
+/// zero-allocation invariant of Simulator::step(), DESIGN.md §8).
 class PacketQueue {
  public:
-  explicit PacketQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit PacketQueue(std::size_t capacity) : buf_(capacity) {}
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t size() const { return queue_.size(); }
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
 
   /// Returns false (drop) when full.
   bool push(const Packet& p) {
-    if (queue_.size() >= capacity_) return false;
-    queue_.push_back(p);
+    if (size_ >= buf_.size()) return false;
+    std::size_t tail = head_ + size_;
+    if (tail >= buf_.size()) tail -= buf_.size();
+    buf_[tail] = p;
+    ++size_;
     return true;
   }
 
-  [[nodiscard]] const Packet& front() const { return queue_.front(); }
-  void pop() { queue_.pop_front(); }
+  [[nodiscard]] const Packet& front() const { return buf_[head_]; }
+
+  void pop() {
+    ++head_;
+    if (head_ == buf_.size()) head_ = 0;
+    --size_;
+  }
 
  private:
-  std::size_t capacity_;
-  std::deque<Packet> queue_;
+  std::vector<Packet> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace ttdc::sim

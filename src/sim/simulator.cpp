@@ -6,18 +6,37 @@
 
 namespace ttdc::sim {
 
+namespace {
+constexpr std::size_t kNoHop = static_cast<std::size_t>(-1);
+constexpr auto kTransmitIdx = static_cast<std::size_t>(RadioState::kTransmit);
+constexpr auto kReceiveIdx = static_cast<std::size_t>(RadioState::kReceive);
+constexpr auto kListenIdx = static_cast<std::size_t>(RadioState::kListen);
+constexpr auto kSleepIdx = static_cast<std::size_t>(RadioState::kSleep);
+}  // namespace
+
 Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
                      const SimConfig& config)
     : graph_(std::move(graph)), mac_(mac), traffic_(traffic), config_(config),
       rng_(config.seed), routing_(graph_),
       queues_(graph_.num_nodes(), PacketQueue(config.queue_capacity)),
-      transmitting_(graph_.num_nodes()) {
-  stats_.state_slots.assign(graph_.num_nodes(), {0, 0, 0, 0});
-  stats_.delivered_by_origin.assign(graph_.num_nodes(), 0);
-  stats_.wake_transitions.assign(graph_.num_nodes(), 0);
-  was_asleep_.assign(graph_.num_nodes(), true);  // nodes boot asleep
-  battery_.assign(graph_.num_nodes(), config_.battery_mj);
-  dead_ = util::DynamicBitset(graph_.num_nodes());
+      transmitting_(graph_.num_nodes()), receivers_(graph_.num_nodes()),
+      eligible_(graph_.num_nodes()), backlogged_(graph_.num_nodes()),
+      unroutable_head_(graph_.num_nodes()),
+      prev_awake_(graph_.num_nodes()),  // nodes boot asleep
+      listen_(graph_.num_nodes()), awake_now_(graph_.num_nodes()),
+      woke_(graph_.num_nodes()), scratch_(graph_.num_nodes()) {
+  const std::size_t n = graph_.num_nodes();
+  stats_.state_slots.assign(n, {0, 0, 0, 0});
+  stats_.delivered_by_origin.assign(n, 0);
+  stats_.wake_transitions.assign(n, 0);
+  battery_.assign(n, config_.battery_mj);
+  dead_ = util::DynamicBitset(n);
+  death_slot_.assign(n, kNeverDied);
+  tx_nodes_.reserve(n);
+  tx_targets_.reserve(n);
+  e_transmit_ = config_.energy.energy_mj(RadioState::kTransmit, 1);
+  e_listen_ = config_.energy.energy_mj(RadioState::kListen, 1);
+  e_sleep_ = config_.energy.energy_mj(RadioState::kSleep, 1);
   tracing_ = static_cast<bool>(config_.trace);
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& m = *config_.metrics;
@@ -41,7 +60,10 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
 void Simulator::set_graph(net::Graph graph) {
   assert(graph.num_nodes() == graph_.num_nodes());
   graph_ = std::move(graph);
-  routing_ = RoutingTable(graph_);
+  routing_.set_graph(graph_);
+  // Head routability is a function of the routes; recheck every backlogged
+  // head against the new topology.
+  backlogged_.for_each([&](std::size_t v) { refresh_head_routability(v); });
   mac_.on_topology_change(graph_);
 }
 
@@ -55,7 +77,7 @@ void Simulator::inject(std::size_t origin, std::size_t destination) {
   p.destination = destination;
   p.created_slot = now_;
   trace(TraceEvent::Kind::kGenerated, origin, destination, p.id);
-  if (!queues_[origin].push(p)) {
+  if (!queue_push(origin, p)) {
     ++stats_.queue_drops;
     if (hot_.queue_drops) hot_.queue_drops->inc();
     trace(TraceEvent::Kind::kQueueDrop, origin, origin, p.id);
@@ -68,115 +90,211 @@ void Simulator::run(std::uint64_t slots) {
 
 void Simulator::step() {
   TTDC_PROF_SCOPE("sim.step");
-  const std::size_t n = graph_.num_nodes();
   {
     TTDC_PROF_SCOPE("sim.step.traffic");
     traffic_.generate(now_, rng_, [&](std::size_t o, std::size_t d) { inject(o, d); });
     mac_.begin_slot(now_, rng_);
   }
 
-  // Phase 1: collect transmission attempts.
-  {
-    TTDC_PROF_SCOPE("sim.step.collect");
-    tx_nodes_.clear();
-    tx_targets_.clear();
-    transmitting_.reset_all();
-    for (std::size_t v = 0; v < n; ++v) {
-      if (dead_.test(v)) continue;
-      auto& q = queues_[v];
-      while (!q.empty()) {
-        const std::size_t hop = routing_.next_hop(v, q.front().destination);
-        if (hop == static_cast<std::size_t>(-1)) {
-          if (config_.drop_unroutable) {
-            ++stats_.queue_drops;
-            if (hot_.queue_drops) hot_.queue_drops->inc();
-            trace(TraceEvent::Kind::kQueueDrop, v, q.front().origin, q.front().id);
-            q.pop();
-            continue;  // look at the next packet
-          }
-          break;  // stall
-        }
-        if (mac_.wants_transmit(v, hop)) {
-          tx_nodes_.push_back(v);
-          tx_targets_.push_back(hop);
-          transmitting_.set(v);
-          trace(TraceEvent::Kind::kTransmit, v, hop, q.front().id);
-        }
-        break;
-      }
+  if (config_.force_scalar_pipeline) {
+    collect_transmissions_scalar();
+    resolve_receptions(/*batched=*/false);
+    account_energy_scalar(/*receivers=*/nullptr);
+  } else {
+    // One virtual call per slot replaces the O(n) per-node queries: the MAC
+    // publishes its slot as two bitsets (or falls back to scalar queries
+    // for phases 1 and 3 while phase 2 stays word-parallel).
+    const bool mac_batched = mac_.fill_slot_sets(receivers_, eligible_);
+    collect_transmissions_batched(mac_batched);
+    resolve_receptions(/*batched=*/true);
+    if (mac_batched) {
+      account_energy_batched();
+    } else {
+      account_energy_scalar(&receivers_);
     }
   }
 
-  // Phase 2: resolve receptions under the collision-at-receiver model.
-  {
-    TTDC_PROF_SCOPE("sim.step.resolve");
-    stats_.transmissions += tx_nodes_.size();
-    if (hot_.transmissions) hot_.transmissions->inc(tx_nodes_.size());
-    for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
-      const std::size_t x = tx_nodes_[i];
-      const std::size_t y = tx_targets_[i];
-      if (dead_.test(y) || !mac_.can_receive(y) || transmitting_.test(y)) {
-        ++stats_.receiver_asleep;
-        if (hot_.receiver_asleep) hot_.receiver_asleep->inc();
-        trace(TraceEvent::Kind::kReceiverAsleep, y, x, queues_[x].front().id);
-        continue;
-      }
-      // Collision iff any other transmitter is in y's neighborhood.
-      util::DynamicBitset interferers = graph_.neighbors(y) & transmitting_;
-      interferers.reset(x);
-      if (interferers.any()) {
-        ++stats_.collisions;
-        if (hot_.collisions) hot_.collisions->inc();
-        trace(TraceEvent::Kind::kCollision, y, x, queues_[x].front().id);
-        continue;
-      }
-      // Channel imperfections: slot misalignment, then fading/noise.
-      if (config_.sync_miss_rate > 0.0 && rng_.bernoulli(config_.sync_miss_rate)) {
-        ++stats_.sync_losses;
-        if (hot_.sync_losses) hot_.sync_losses->inc();
-        trace(TraceEvent::Kind::kSyncLoss, y, x, queues_[x].front().id);
-        continue;
-      }
-      if (config_.packet_error_rate > 0.0 && rng_.bernoulli(config_.packet_error_rate)) {
-        ++stats_.channel_losses;
-        if (hot_.channel_losses) hot_.channel_losses->inc();
-        trace(TraceEvent::Kind::kChannelLoss, y, x, queues_[x].front().id);
-        continue;
-      }
-      // Success: dequeue at x, deliver or forward at y.
-      Packet p = queues_[x].front();
-      queues_[x].pop();
-      ++stats_.hop_successes;
-      if (hot_.hop_successes) hot_.hop_successes->inc();
-      ++p.hops;
-      if (p.destination == y) {
-        ++stats_.delivered;
-        ++stats_.delivered_by_origin[p.origin];
-        stats_.latency.record(now_ - p.created_slot);
-        if (hot_.delivered) {
-          hot_.delivered->inc();
-          hot_.latency->observe(static_cast<double>(now_ - p.created_slot));
-        }
-        trace(TraceEvent::Kind::kFinalDelivered, y, p.origin, p.id);
-      } else {
-        trace(TraceEvent::Kind::kHopDelivered, y, x, p.id);
-        if (!queues_[y].push(p)) {
+  ++now_;
+  ++stats_.slots_run;
+}
+
+// Phase 1 (legacy): walk every node, querying the MAC per node.
+void Simulator::collect_transmissions_scalar() {
+  TTDC_PROF_SCOPE("sim.step.collect");
+  const std::size_t n = graph_.num_nodes();
+  tx_nodes_.clear();
+  tx_targets_.clear();
+  transmitting_.reset_all();
+  for (std::size_t v = 0; v < n; ++v) {
+    if (dead_.test(v)) continue;
+    auto& q = queues_[v];
+    while (!q.empty()) {
+      const std::size_t hop = routing_.next_hop(v, q.front().destination);
+      if (hop == kNoHop) {
+        if (config_.drop_unroutable) {
           ++stats_.queue_drops;
           if (hot_.queue_drops) hot_.queue_drops->inc();
-          trace(TraceEvent::Kind::kQueueDrop, y, p.origin, p.id);
+          trace(TraceEvent::Kind::kQueueDrop, v, q.front().origin, q.front().id);
+          queue_pop(v);
+          continue;  // look at the next packet
         }
+        break;  // stall
+      }
+      if (mac_.wants_transmit(v, hop)) {
+        tx_nodes_.push_back(v);
+        tx_targets_.push_back(hop);
+        transmitting_.set(v);
+        trace(TraceEvent::Kind::kTransmit, v, hop, q.front().id);
+      }
+      break;
+    }
+  }
+}
+
+// Phase 1 (batched): word-parallel selection of the nodes that can matter
+// this slot. With a batched MAC only an eligible transmitter can send and
+// only an unroutable queue head can be dropped, so the visit set shrinks
+// from every backlogged node to backlogged ∩ (eligible ∪ unroutable-head) —
+// under a duty-cycled schedule that is a duty-cycle fraction of n. The
+// transmit decision is two bit tests instead of a virtual call.
+void Simulator::collect_transmissions_batched(bool mac_batched) {
+  TTDC_PROF_SCOPE("sim.step.collect");
+  tx_nodes_.clear();
+  tx_targets_.clear();
+  transmitting_.reset_all();
+  const bool gates = mac_batched && mac_.sender_gates_on_receiver();
+  if (mac_batched) {
+    scratch_.copy_from(eligible_);
+    scratch_ |= unroutable_head_;
+    scratch_ &= backlogged_;
+  } else {
+    // Scalar-only MAC: wants_transmit() may be true for any node, so every
+    // backlogged node must be offered the slot.
+    scratch_.copy_from(backlogged_);
+  }
+  scratch_.subtract(dead_);
+  scratch_.for_each([&](std::size_t v) {
+    auto& q = queues_[v];
+    while (!q.empty()) {
+      const std::size_t hop = routing_.next_hop(v, q.front().destination);
+      if (hop == kNoHop) {
+        if (config_.drop_unroutable) {
+          ++stats_.queue_drops;
+          if (hot_.queue_drops) hot_.queue_drops->inc();
+          trace(TraceEvent::Kind::kQueueDrop, v, q.front().origin, q.front().id);
+          queue_pop(v);
+          continue;  // look at the next packet
+        }
+        break;  // stall
+      }
+      const bool tx = mac_batched
+                          ? (eligible_.test(v) && (!gates || receivers_.test(hop)))
+                          : mac_.wants_transmit(v, hop);
+      if (tx) {
+        tx_nodes_.push_back(v);
+        tx_targets_.push_back(hop);
+        transmitting_.set(v);
+        trace(TraceEvent::Kind::kTransmit, v, hop, q.front().id);
+      }
+      break;
+    }
+  });
+}
+
+// Phase 2: resolve receptions under the collision-at-receiver model.
+void Simulator::resolve_receptions(bool batched) {
+  TTDC_PROF_SCOPE("sim.step.resolve");
+  stats_.transmissions += tx_nodes_.size();
+  if (hot_.transmissions) hot_.transmissions->inc(tx_nodes_.size());
+  for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
+    const std::size_t x = tx_nodes_[i];
+    const std::size_t y = tx_targets_[i];
+    const bool receiver_ok = batched ? receivers_.test(y) : mac_.can_receive(y);
+    if (dead_.test(y) || !receiver_ok || transmitting_.test(y)) {
+      ++stats_.receiver_asleep;
+      if (hot_.receiver_asleep) hot_.receiver_asleep->inc();
+      trace(TraceEvent::Kind::kReceiverAsleep, y, x, queues_[x].front().id);
+      continue;
+    }
+    // Collision iff any other transmitter is in y's neighborhood. x is a
+    // transmitting neighbor of y (next hops are neighbors), so counting
+    // transmitting neighbors word-parallel — no materialized intersection,
+    // no allocation — gives: collision iff the count exceeds one.
+    bool collision;
+    if (batched) {
+      collision = graph_.neighbors(y).intersection_count(transmitting_) > 1;
+    } else {
+      // Legacy formulation, kept verbatim as the differential reference.
+      util::DynamicBitset interferers = graph_.neighbors(y) & transmitting_;
+      interferers.reset(x);
+      collision = interferers.any();
+    }
+    if (collision) {
+      ++stats_.collisions;
+      if (hot_.collisions) hot_.collisions->inc();
+      trace(TraceEvent::Kind::kCollision, y, x, queues_[x].front().id);
+      continue;
+    }
+    // Channel imperfections: slot misalignment, then fading/noise.
+    if (config_.sync_miss_rate > 0.0 && rng_.bernoulli(config_.sync_miss_rate)) {
+      ++stats_.sync_losses;
+      if (hot_.sync_losses) hot_.sync_losses->inc();
+      trace(TraceEvent::Kind::kSyncLoss, y, x, queues_[x].front().id);
+      continue;
+    }
+    if (config_.packet_error_rate > 0.0 && rng_.bernoulli(config_.packet_error_rate)) {
+      ++stats_.channel_losses;
+      if (hot_.channel_losses) hot_.channel_losses->inc();
+      trace(TraceEvent::Kind::kChannelLoss, y, x, queues_[x].front().id);
+      continue;
+    }
+    // Success: dequeue at x, deliver or forward at y.
+    Packet p = queues_[x].front();
+    queue_pop(x);
+    ++stats_.hop_successes;
+    if (hot_.hop_successes) hot_.hop_successes->inc();
+    ++p.hops;
+    if (p.destination == y) {
+      ++stats_.delivered;
+      ++stats_.delivered_by_origin[p.origin];
+      stats_.latency.record(now_ - p.created_slot);
+      if (hot_.delivered) {
+        hot_.delivered->inc();
+        hot_.latency->observe(static_cast<double>(now_ - p.created_slot));
+      }
+      trace(TraceEvent::Kind::kFinalDelivered, y, p.origin, p.id);
+    } else {
+      trace(TraceEvent::Kind::kHopDelivered, y, x, p.id);
+      if (!queue_push(y, p)) {
+        ++stats_.queue_drops;
+        if (hot_.queue_drops) hot_.queue_drops->inc();
+        trace(TraceEvent::Kind::kQueueDrop, y, p.origin, p.id);
       }
     }
   }
+}
 
-  // Phase 3: energy accounting (dead nodes draw nothing and stay dead).
+void Simulator::kill_node(std::size_t v) {
+  dead_.set(v);
+  battery_[v] = 0.0;
+  death_slot_[v] = now_;
+  ++stats_.deaths;
+  stats_.first_death_slot = std::min(stats_.first_death_slot, now_);
+}
+
+// Phase 3 (scalar): per-node energy accounting (dead nodes draw nothing and
+// stay dead). Runs for the legacy pipeline (receivers == nullptr, virtual
+// can_receive per node) and for batched runs of scalar-only MACs
+// (receivers == &receivers_, idle_state still queried per idle node).
+void Simulator::account_energy_scalar(const util::DynamicBitset* receivers) {
   TTDC_PROF_SCOPE("sim.step.energy");
+  const std::size_t n = graph_.num_nodes();
   for (std::size_t v = 0; v < n; ++v) {
     if (dead_.test(v)) continue;
     RadioState state;
     if (transmitting_.test(v)) {
       state = RadioState::kTransmit;
-    } else if (mac_.can_receive(v)) {
+    } else if (receivers != nullptr ? receivers->test(v) : mac_.can_receive(v)) {
       state = RadioState::kListen;  // eligible receiver: awake whether or
                                     // not a packet actually arrived
     } else {
@@ -184,23 +302,70 @@ void Simulator::step() {
     }
     ++stats_.state_slots[v][static_cast<std::size_t>(state)];
     const bool asleep = state == RadioState::kSleep;
-    const bool woke = was_asleep_[v] && !asleep;
+    const bool woke = !prev_awake_.test(v) && !asleep;
     if (woke) ++stats_.wake_transitions[v];
-    was_asleep_[v] = asleep;
+    if (asleep) {
+      prev_awake_.reset(v);
+    } else {
+      prev_awake_.set(v);
+    }
     if (config_.battery_mj > 0.0) {
       battery_[v] -= config_.energy.energy_mj(state, 1);
       if (woke) battery_[v] -= config_.energy.wakeup_mj;
-      if (battery_[v] <= 0.0) {
-        dead_.set(v);
-        battery_[v] = 0.0;
-        ++stats_.deaths;
-        stats_.first_death_slot = std::min(stats_.first_death_slot, now_);
-      }
+      if (battery_[v] <= 0.0) kill_node(v);
     }
   }
+}
 
-  ++now_;
-  ++stats_.slots_run;
+// Phase 3 (batched): the slot's radio states as set algebra. Relies on the
+// fill_slot_sets() contract — a node that neither transmits nor receives
+// sleeps — so no virtual call is made at all. Sleep-slot counters are NOT
+// incremented here (they are derived in finalize_sleep_counts()), making
+// the common sleepy-network slot cost O(awake nodes), not O(n).
+void Simulator::account_energy_batched() {
+  TTDC_PROF_SCOPE("sim.step.energy");
+  // listen = (receivers \ transmitters) \ dead; transmitters exclude the
+  // dead already (phase 1 never visits them).
+  listen_.copy_from(receivers_);
+  listen_.subtract(transmitting_);
+  listen_.subtract(dead_);
+  awake_now_.copy_from(listen_);
+  awake_now_ |= transmitting_;
+  transmitting_.for_each([&](std::size_t v) { ++stats_.state_slots[v][kTransmitIdx]; });
+  listen_.for_each([&](std::size_t v) { ++stats_.state_slots[v][kListenIdx]; });
+  woke_.copy_from(awake_now_);
+  woke_.subtract(prev_awake_);
+  woke_.for_each([&](std::size_t v) { ++stats_.wake_transitions[v]; });
+  if (config_.battery_mj > 0.0) {
+    // State cost first, then the wakeup surcharge, then the death check —
+    // the same per-node subtraction order as the scalar pipeline, so the
+    // battery trajectory is bit-identical.
+    transmitting_.for_each([&](std::size_t v) { battery_[v] -= e_transmit_; });
+    listen_.for_each([&](std::size_t v) { battery_[v] -= e_listen_; });
+    scratch_.copy_from(dead_);
+    scratch_.flip_all();           // scratch_ = alive
+    scratch_.subtract(awake_now_); // scratch_ = alive sleepers
+    scratch_.for_each([&](std::size_t v) { battery_[v] -= e_sleep_; });
+    const double wakeup = config_.energy.wakeup_mj;
+    woke_.for_each([&](std::size_t v) { battery_[v] -= wakeup; });
+    scratch_.copy_from(dead_);
+    scratch_.flip_all();  // scratch_ = alive (kill_node mutates dead_, not this copy)
+    scratch_.for_each([&](std::size_t v) {
+      if (battery_[v] <= 0.0) kill_node(v);
+    });
+  }  // else: early-out — unlimited energy means no drain and no deaths.
+  prev_awake_.copy_from(awake_now_);
+}
+
+void Simulator::finalize_sleep_counts() {
+  if (config_.force_scalar_pipeline) return;
+  const std::size_t n = stats_.state_slots.size();
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t passes =
+        death_slot_[v] == kNeverDied ? stats_.slots_run : death_slot_[v] + 1;
+    auto& s = stats_.state_slots[v];
+    s[kSleepIdx] = passes - s[kTransmitIdx] - s[kReceiveIdx] - s[kListenIdx];
+  }
 }
 
 }  // namespace ttdc::sim

@@ -7,6 +7,13 @@
 // (collision-at-receiver, no capture). Energy is accounted per node per
 // slot by radio state.
 //
+// The per-slot pipeline operates on whole node-sets (DynamicBitsets) rather
+// than individual nodes — the batched formulation the paper uses
+// analytically (per-slot transmitter set T[i] and receiver set R[i]) mapped
+// onto word-parallel kernels. The legacy node-at-a-time pipeline is kept
+// behind SimConfig::force_scalar_pipeline as the differential-testing
+// reference; both produce bit-identical SimStats. See DESIGN.md §8.
+//
 // Topology can be swapped mid-run (set_graph) to model churn; topology-
 // transparent MACs keep working with no reconfiguration, which is the point
 // of the paper.
@@ -61,6 +68,11 @@ struct SimConfig {
   /// sync_miss_rate (transmitter misaligned with the slot grid).
   double packet_error_rate = 0.0;
   double sync_miss_rate = 0.0;
+  /// Runs the legacy node-at-a-time pipeline instead of the word-parallel
+  /// batched one. The two are equivalent (same stats, same rng stream) and
+  /// the golden tests assert exactly that; outside those tests there is no
+  /// reason to set this.
+  bool force_scalar_pipeline = false;
   /// Optional per-event hook; leave empty for zero overhead on the hot
   /// path beyond a branch. Structured sinks (JSONL, ring buffer, filters,
   /// fan-out) live in obs/trace.hpp and plug in via their fn() adapters.
@@ -87,11 +99,18 @@ class Simulator {
   /// Runs `slots` additional slots (cumulative; stats keep accumulating).
   void run(std::uint64_t slots);
 
-  /// Swaps the topology (churn). Rebuilds routing; notifies the MAC.
-  /// The node count must not change.
+  /// Swaps the topology (churn). Invalidates the routing cache; notifies
+  /// the MAC. The node count must not change.
   void set_graph(net::Graph graph);
 
-  [[nodiscard]] const SimStats& stats() const { return stats_; }
+  /// Simulation statistics. In the batched pipeline, per-node sleep-slot
+  /// counts are materialized lazily on this call (they are derived, not
+  /// accumulated, so sleepy networks cost O(awake) per slot, not O(n));
+  /// the operation is idempotent and logically const.
+  [[nodiscard]] const SimStats& stats() const {
+    const_cast<Simulator*>(this)->finalize_sleep_counts();
+    return stats_;
+  }
   [[nodiscard]] const net::Graph& graph() const { return graph_; }
   [[nodiscard]] std::uint64_t now() const { return now_; }
 
@@ -99,6 +118,9 @@ class Simulator {
   [[nodiscard]] std::size_t queue_size(std::size_t node) const {
     return queues_[node].size();
   }
+
+  /// Pre-sizes the latency sample buffer (see LatencyStats::reserve).
+  void reserve_latency(std::size_t n) { stats_.latency.reserve(n); }
 
   /// Battery state (only meaningful when config.battery_mj > 0).
   [[nodiscard]] bool is_alive(std::size_t node) const { return !dead_.test(node); }
@@ -110,6 +132,52 @@ class Simulator {
  private:
   void inject(std::size_t origin, std::size_t destination);
   void step();
+
+  // --- pipeline phases (DESIGN.md §8) ---
+  void collect_transmissions_scalar();                 // phase 1, legacy
+  void collect_transmissions_batched(bool mac_batched);  // phase 1
+  void resolve_receptions(bool batched);               // phase 2
+  /// Phase 3, node-at-a-time. `receivers` substitutes for virtual
+  /// can_receive() calls when non-null (batched pipeline, scalar-only MAC).
+  void account_energy_scalar(const util::DynamicBitset* receivers);
+  void account_energy_batched();                       // phase 3, set-driven
+  void kill_node(std::size_t v);
+  /// Rewrites state_slots[v][kSleep] from the identity
+  ///   sleep = slots_participated - transmit - receive - listen,
+  /// which holds on every pipeline; the batched phase 3 never increments
+  /// sleep counts eagerly. No-op on the pure scalar pipeline.
+  void finalize_sleep_counts();
+
+  /// Queue mutations funnel through these so backlogged_ and
+  /// unroutable_head_ stay exact. Tracking head routability incrementally
+  /// (one cached-column lookup per head change) is what lets the batched
+  /// phase 1 visit only eligible ∪ unroutable-head nodes instead of every
+  /// backlogged node, while dropping unroutable packets in exactly the slot
+  /// the scalar pipeline would.
+  bool queue_push(std::size_t node, const Packet& p) {
+    if (!queues_[node].push(p)) return false;
+    backlogged_.set(node);
+    if (queues_[node].size() == 1) refresh_head_routability(node);
+    return true;
+  }
+  void queue_pop(std::size_t node) {
+    queues_[node].pop();
+    if (queues_[node].empty()) {
+      backlogged_.reset(node);
+      unroutable_head_.reset(node);
+    } else {
+      refresh_head_routability(node);
+    }
+  }
+  void refresh_head_routability(std::size_t node) {
+    const std::size_t hop = routing_.next_hop(node, queues_[node].front().destination);
+    if (hop == static_cast<std::size_t>(-1)) {
+      unroutable_head_.set(node);
+    } else {
+      unroutable_head_.reset(node);
+    }
+  }
+
   /// Trace emission stays a single predictable branch (`tracing_`, fixed at
   /// construction) when tracing is disabled; the std::function indirection
   /// is only paid on the enabled path.
@@ -146,13 +214,27 @@ class Simulator {
   std::uint64_t now_ = 0;
   std::uint64_t next_packet_id_ = 0;
 
-  // Per-slot scratch, kept here to avoid reallocation.
+  // Per-slot scratch, kept here so the steady-state hot path never touches
+  // the allocator (the zero-allocation invariant, DESIGN.md §8).
   std::vector<std::size_t> tx_nodes_;
   std::vector<std::size_t> tx_targets_;
-  util::DynamicBitset transmitting_;
-  std::vector<bool> was_asleep_;  // previous-slot radio state, for wakeup accounting
-  std::vector<double> battery_;   // remaining mJ per node (battery_mj > 0 only)
-  util::DynamicBitset dead_;      // depleted nodes
+  util::DynamicBitset transmitting_;  // this slot's transmitters
+  util::DynamicBitset receivers_;     // MAC's awake-receiver set for the slot
+  util::DynamicBitset eligible_;      // MAC's eligible-transmitter set
+  util::DynamicBitset backlogged_;    // {v : queue non-empty}, kept incrementally
+  util::DynamicBitset unroutable_head_;  // {v : head of v's queue has no route}
+  util::DynamicBitset prev_awake_;    // previous-slot awake set (wakeup accounting)
+  util::DynamicBitset listen_;        // phase-3 scratch
+  util::DynamicBitset awake_now_;     // phase-3 scratch
+  util::DynamicBitset woke_;          // phase-3 scratch
+  util::DynamicBitset scratch_;       // general per-slot scratch
+  std::vector<double> battery_;       // remaining mJ per node (battery_mj > 0 only)
+  util::DynamicBitset dead_;          // depleted nodes
+  std::vector<std::uint64_t> death_slot_;  // slot of death, kNeverDied while alive
+  // Per-slot energy constants (== config_.energy.energy_mj(state, 1)).
+  double e_transmit_ = 0.0, e_listen_ = 0.0, e_sleep_ = 0.0;
+
+  static constexpr std::uint64_t kNeverDied = ~std::uint64_t{0};
 };
 
 }  // namespace ttdc::sim

@@ -21,6 +21,11 @@ class LatencyStats {
  public:
   void record(std::uint64_t latency_slots) { samples_.push_back(latency_slots); }
 
+  /// Pre-sizes the sample buffer. Perf hook: lets benches and the
+  /// zero-allocation test keep record() off the allocator for a known
+  /// number of upcoming deliveries.
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] double mean() const;
   [[nodiscard]] std::uint64_t max() const;

@@ -1,16 +1,4 @@
 #include "sim/traffic.hpp"
 
-namespace ttdc::sim {
-
-RoutingTable::RoutingTable(const net::Graph& graph) {
-  const std::size_t n = graph.num_nodes();
-  table_.reserve(n);
-  for (std::size_t dst = 0; dst < n; ++dst) {
-    // BFS tree rooted at dst: each node's parent is its next hop toward dst.
-    auto parents = graph.bfs_parents(dst);
-    parents[dst] = dst;
-    table_.push_back(std::move(parents));
-  }
-}
-
-}  // namespace ttdc::sim
+// Traffic sources are header-only; routing moved to net/routing.cpp. This
+// translation unit is kept so the build file list stays stable.

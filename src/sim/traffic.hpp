@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "net/routing.hpp"
 #include "util/rng.hpp"
 
 namespace ttdc::sim {
@@ -84,21 +85,8 @@ class ConvergecastTraffic final : public TrafficSource {
   double rate_;
 };
 
-/// Next-hop routing table: next_hop(u, dst) is the neighbor u forwards to.
-/// Built from all-pairs BFS (shortest hop paths); rebuilt on topology
-/// change by the simulator.
-class RoutingTable {
- public:
-  explicit RoutingTable(const net::Graph& graph);
-
-  /// SIZE_MAX when dst is unreachable from u.
-  [[nodiscard]] std::size_t next_hop(std::size_t from, std::size_t dst) const {
-    return table_[dst][from];
-  }
-
- private:
-  // table_[dst][u] = parent of u in the BFS tree rooted at dst.
-  std::vector<std::vector<std::size_t>> table_;
-};
+/// Next-hop routing (shortest hop paths) now lives in net/routing.hpp as a
+/// lazily cached table; the simulator invalidates it on topology change.
+using RoutingTable = net::RoutingTable;
 
 }  // namespace ttdc::sim

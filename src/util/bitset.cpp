@@ -14,6 +14,16 @@ void DynamicBitset::reset_all() {
   for (auto& w : words_) w = 0;
 }
 
+void DynamicBitset::copy_from(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] = other.words_[i];
+}
+
+void DynamicBitset::flip_all() {
+  for (auto& w : words_) w = ~w;
+  trim_tail();
+}
+
 std::size_t DynamicBitset::count() const {
   std::size_t total = 0;
   for (Word w : words_) total += static_cast<std::size_t>(std::popcount(w));

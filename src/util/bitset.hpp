@@ -7,6 +7,7 @@
 // and *_into variants).
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <cstddef>
@@ -57,6 +58,14 @@ class DynamicBitset {
 
   void set_all();
   void reset_all();
+
+  /// *this = other, without changing universes. Requires equal size();
+  /// never allocates (the word storage is reused), which makes it the
+  /// assignment of choice inside per-slot hot loops.
+  void copy_from(const DynamicBitset& other);
+
+  /// Complement in place (no allocation, unlike complement()).
+  void flip_all();
 
   /// Number of members (popcount across words).
   [[nodiscard]] std::size_t count() const;
@@ -123,7 +132,7 @@ class DynamicBitset {
     for (std::size_t w = 0; w < words_.size(); ++w) {
       Word word = words_[w];
       while (word != 0) {
-        const auto bit = static_cast<std::size_t>(__builtin_ctzll(word));
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
         fn(w * kWordBits + bit);
         word &= word - 1;
       }
