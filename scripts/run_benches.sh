@@ -14,7 +14,7 @@
 # printed for context but not gated (they halve under a concurrent build).
 # Regenerate the baseline (copy BENCH_sim_hotpath.json over it) when the
 # pipeline legitimately changes shape.
-set -u
+set -euo pipefail
 
 perf_check=0
 if [ "${1:-}" = "--perf-check" ]; then
@@ -27,12 +27,12 @@ build_dir="${1:-$repo_root/build}"
 bench_dir="${TTDC_BENCH_DIR:-$repo_root}"
 export TTDC_BENCH_DIR="$bench_dir"
 
-cmake -B "$build_dir" -S "$repo_root" || exit 1
+cmake -B "$build_dir" -S "$repo_root"
 
 if [ "$perf_check" -eq 1 ]; then
-  cmake --build "$build_dir" -j "$(nproc)" --target bench_sim_hotpath || exit 1
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_sim_hotpath
   echo "=== bench_sim_hotpath (perf check) ==="
-  "$build_dir/bench/bench_sim_hotpath" || exit 1
+  "$build_dir/bench/bench_sim_hotpath"
   report="$bench_dir/BENCH_sim_hotpath.json"
   baseline="$repo_root/bench/baselines/BENCH_sim_hotpath.baseline.json"
   [ -s "$report" ] || { echo "MISSING REPORT: $report" >&2; exit 1; }
@@ -72,10 +72,10 @@ if failures:
     sys.exit(1)
 print("perf check passed")
 EOF
-  exit $?
+  exit 0
 fi
 
-cmake --build "$build_dir" -j "$(nproc)" || exit 1
+cmake --build "$build_dir" -j "$(nproc)"
 
 status=0
 ran=0
@@ -103,5 +103,5 @@ fi
 
 echo
 echo "ran $ran benches; reports in $bench_dir:"
-ls -1 "$bench_dir"/BENCH_*.json 2>/dev/null
-exit $status
+ls -1 "$bench_dir"/BENCH_*.json 2>/dev/null || true
+exit "$status"

@@ -40,6 +40,33 @@ Schedule Schedule::non_sleeping(std::size_t num_nodes, std::vector<DynamicBitset
   return Schedule(num_nodes, std::move(transmit), std::move(receive));
 }
 
+void Schedule::audit_invariants() const {
+#if TTDC_ENABLE_CHECKS
+  const std::size_t L = frame_length();
+  TTDC_DCHECK(receive_.size() == L && t_sizes_.size() == L && r_sizes_.size() == L,
+              "Schedule: per-slot arrays out of step at L=", L);
+  TTDC_DCHECK(tran_.size() == num_nodes_ && recv_.size() == num_nodes_,
+              "Schedule: transposed arrays out of step at n=", num_nodes_);
+  for (std::size_t i = 0; i < L; ++i) {
+    TTDC_DCHECK(transmit_[i].size() == num_nodes_ && receive_[i].size() == num_nodes_,
+                "Schedule: slot ", i, " sets not over the node universe");
+    TTDC_DCHECK(!transmit_[i].intersects(receive_[i]),
+                "Schedule: T[", i, "] ∩ R[", i, "] != ∅: T=", transmit_[i].to_string(),
+                " R=", receive_[i].to_string());
+    TTDC_DCHECK(t_sizes_[i] == transmit_[i].count() && r_sizes_[i] == receive_[i].count(),
+                "Schedule: cached sizes stale at slot ", i);
+  }
+  for (std::size_t x = 0; x < num_nodes_; ++x) {
+    for (std::size_t i = 0; i < L; ++i) {
+      TTDC_DCHECK(tran_[x].test(i) == transmit_[i].test(x),
+                  "Schedule: tran(", x, ") disagrees with T[", i, "]");
+      TTDC_DCHECK(recv_[x].test(i) == receive_[i].test(x),
+                  "Schedule: recv(", x, ") disagrees with R[", i, "]");
+    }
+  }
+#endif
+}
+
 bool Schedule::is_non_sleeping() const {
   for (std::size_t i = 0; i < frame_length(); ++i) {
     if (t_sizes_[i] + r_sizes_[i] != num_nodes_) return false;

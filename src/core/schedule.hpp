@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/bitset.hpp"
+#include "util/check.hpp"
 
 namespace ttdc::core {
 
@@ -38,16 +39,31 @@ class Schedule {
 
   /// Per-slot sets (bitsets over nodes).
   [[nodiscard]] const DynamicBitset& transmitters(std::size_t slot) const {
+    TTDC_CHECK_BOUNDS(slot, transmit_.size());
     return transmit_[slot];
   }
   [[nodiscard]] const DynamicBitset& receivers(std::size_t slot) const {
+    TTDC_CHECK_BOUNDS(slot, receive_.size());
     return receive_[slot];
   }
 
   /// tran(x): slots in which node x may transmit (bitset over slots).
-  [[nodiscard]] const DynamicBitset& tran(std::size_t node) const { return tran_[node]; }
+  [[nodiscard]] const DynamicBitset& tran(std::size_t node) const {
+    TTDC_CHECK_BOUNDS(node, num_nodes_);
+    return tran_[node];
+  }
   /// recv(x): slots in which node x may receive (bitset over slots).
-  [[nodiscard]] const DynamicBitset& recv(std::size_t node) const { return recv_[node]; }
+  [[nodiscard]] const DynamicBitset& recv(std::size_t node) const {
+    TTDC_CHECK_BOUNDS(node, num_nodes_);
+    return recv_[node];
+  }
+
+  /// Re-verifies the construction invariants (universe sizes, per-slot
+  /// T[i] ∩ R[i] = ∅, transposed sets consistent with the per-slot sets).
+  /// The constructor establishes them and the class is immutable, so this
+  /// only fires on memory corruption or a bad const_cast; compiled out
+  /// (no-op) unless contract checks are enabled.
+  void audit_invariants() const;
 
   /// True iff T[i] ∪ R[i] = V in every slot.
   [[nodiscard]] bool is_non_sleeping() const;

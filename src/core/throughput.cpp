@@ -15,7 +15,8 @@ namespace ttdc::core {
 
 using util::binomial_exact;
 using util::binomial_ld;
-using util::CountingOverflow;
+using util::checked_add;
+using util::checked_mul;
 using util::u128;
 
 namespace {
@@ -26,20 +27,10 @@ void validate(std::size_t n, std::size_t degree_bound) {
   }
 }
 
-u128 mul_checked(u128 a, u128 b) {
-  if (a != 0 && b > static_cast<u128>(-1) / a) throw CountingOverflow();
-  return a * b;
-}
-
-u128 add_checked(u128 a, u128 b) {
-  if (a > static_cast<u128>(-1) - b) throw CountingOverflow();
-  return a + b;
-}
-
 }  // namespace
 
 bool ExactFraction::equals(const ExactFraction& other) const {
-  return mul_checked(num, other.den) == mul_checked(other.num, den);
+  return checked_mul(num, other.den) == checked_mul(other.num, den);
 }
 
 long double g_value(std::size_t n, std::size_t degree_bound, std::size_t x) {
@@ -60,7 +51,7 @@ std::size_t g_argmax(std::size_t n, std::size_t degree_bound) {
                              : lo + 1;
   auto weight = [&](std::size_t x) -> u128 {
     if (x == 0 || x >= n) return 0;
-    return mul_checked(x, binomial_exact(n - x, degree_bound));
+    return checked_mul(x, binomial_exact(n - x, degree_bound));
   };
   const std::size_t lo_c = std::max<std::size_t>(lo, 1);
   if (weight(lo_c) >= weight(hi)) return lo_c;
@@ -78,12 +69,12 @@ ExactFraction average_throughput_exact(const Schedule& schedule, std::size_t deg
     if (t == 0 || r == 0) continue;
     if (n < t + 1) continue;  // C(n-t-1, D-1) with n-t-1 < 0 cannot happen (r >= 1)
     const u128 ways = binomial_exact(n - t - 1, degree_bound - 1);
-    f = add_checked(f, mul_checked(mul_checked(t, r), ways));
+    f = checked_add(f, checked_mul(checked_mul(t, r), ways));
   }
   ExactFraction out;
   out.num = f;
-  out.den = mul_checked(
-      mul_checked(mul_checked(static_cast<u128>(n), n - 1),
+  out.den = checked_mul(
+      checked_mul(checked_mul(static_cast<u128>(n), n - 1),
                   binomial_exact(n - 2, degree_bound - 1)),
       L);
   return out;
@@ -144,8 +135,8 @@ ExactFraction average_throughput_bruteforce(const Schedule& schedule,
 
   ExactFraction out;
   out.num = total.load();
-  out.den = mul_checked(
-      mul_checked(mul_checked(static_cast<u128>(n), n - 1),
+  out.den = checked_mul(
+      checked_mul(checked_mul(static_cast<u128>(n), n - 1),
                   binomial_exact(n - 2, degree_bound - 1)),
       L);
   return out;
@@ -159,8 +150,8 @@ std::size_t optimal_transmitters_general(std::size_t n, std::size_t degree_bound
   const std::size_t ce = (n - degree_bound + degree_bound) / (degree_bound + 1);
   const std::size_t fl_c = std::max<std::size_t>(fl, 1);
   if (fl_c == ce) return fl_c;
-  const u128 wf = mul_checked(fl_c, binomial_exact(n - fl_c, degree_bound));
-  const u128 wc = mul_checked(ce, binomial_exact(n - ce, degree_bound));
+  const u128 wf = checked_mul(fl_c, binomial_exact(n - fl_c, degree_bound));
+  const u128 wc = checked_mul(ce, binomial_exact(n - ce, degree_bound));
   return wf >= wc ? fl_c : ce;
 }
 
@@ -184,7 +175,7 @@ std::size_t optimal_transmitters_alpha(std::size_t n, std::size_t degree_bound) 
   const std::size_t fl_c = std::max<std::size_t>(fl, 1);
   auto weight = [&](std::size_t x) -> u128 {
     if (x == 0 || x + 1 > n) return 0;
-    return mul_checked(x, binomial_exact(n - x - 1, degree_bound - 1));
+    return checked_mul(x, binomial_exact(n - x - 1, degree_bound - 1));
   };
   if (fl_c == ce) return fl_c;
   return weight(fl_c) >= weight(ce) ? fl_c : ce;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace ttdc::sim {
 
 // ------------------------------------------------------------ base fallback
@@ -124,7 +126,8 @@ CommonActivePeriodMac::CommonActivePeriodMac(std::size_t num_nodes, std::size_t 
                                              double attempt_probability)
     : frame_length_(frame_length), active_slots_(active_slots), p_(attempt_probability),
       coin_(num_nodes) {
-  assert(active_slots >= 1 && active_slots <= frame_length);
+  TTDC_ASSERT(active_slots >= 1 && active_slots <= frame_length,
+              "active window ", active_slots, " outside frame of ", frame_length);
 }
 
 void CommonActivePeriodMac::begin_slot(std::uint64_t slot, util::Xoshiro256& rng) {

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace ttdc::sim {
 
 struct Packet {
@@ -40,12 +42,26 @@ class PacketQueue {
     return true;
   }
 
-  [[nodiscard]] const Packet& front() const { return buf_[head_]; }
+  [[nodiscard]] const Packet& front() const {
+    TTDC_DCHECK(size_ > 0, "PacketQueue::front on empty queue");
+    return buf_[head_];
+  }
 
   void pop() {
+    TTDC_DCHECK(size_ > 0, "PacketQueue::pop on empty queue");
     ++head_;
     if (head_ == buf_.size()) head_ = 0;
     --size_;
+  }
+
+  /// Ring invariants: the head cursor stays inside the buffer and the live
+  /// count never exceeds capacity. Established by construction and every
+  /// push/pop; Simulator::audit_invariants() re-verifies them per queue.
+  void audit_invariants() const {
+    TTDC_DCHECK(size_ <= buf_.size(), "PacketQueue: size ", size_, " exceeds capacity ",
+                buf_.size());
+    TTDC_DCHECK(buf_.empty() ? head_ == 0 : head_ < buf_.size(), "PacketQueue: head cursor ",
+                head_, " outside ring of capacity ", buf_.size());
   }
 
  private:

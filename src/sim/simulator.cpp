@@ -1,8 +1,7 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
-
 #include "obs/profile.hpp"
+#include "util/check.hpp"
 
 namespace ttdc::sim {
 
@@ -58,13 +57,100 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
 }
 
 void Simulator::set_graph(net::Graph graph) {
-  assert(graph.num_nodes() == graph_.num_nodes());
+  TTDC_ASSERT(graph.num_nodes() == graph_.num_nodes(),
+              "set_graph cannot change the node count: ", graph.num_nodes(), " vs ",
+              graph_.num_nodes());
   graph_ = std::move(graph);
   routing_.set_graph(graph_);
   // Head routability is a function of the routes; recheck every backlogged
   // head against the new topology.
   backlogged_.for_each([&](std::size_t v) { refresh_head_routability(v); });
   mac_.on_topology_change(graph_);
+}
+
+void Simulator::audit_invariants() const {
+#if TTDC_ENABLE_CHECKS
+  const std::size_t n = graph_.num_nodes();
+
+  // Queues and their incremental mirrors. backlogged_ and unroutable_head_
+  // are maintained by queue_push/queue_pop/refresh_head_routability; here
+  // they are recomputed from scratch and compared.
+  for (std::size_t v = 0; v < n; ++v) {
+    queues_[v].audit_invariants();
+    TTDC_DCHECK(backlogged_.test(v) == !queues_[v].empty(),
+                "backlogged_ bit for node ", v, " disagrees with queue size ",
+                queues_[v].size());
+    if (queues_[v].empty()) {
+      TTDC_DCHECK(!unroutable_head_.test(v),
+                  "unroutable_head_ set for node ", v, " with an empty queue");
+    } else {
+      const std::size_t hop = routing_.next_hop(v, queues_[v].front().destination);
+      TTDC_DCHECK(unroutable_head_.test(v) == (hop == kNoHop),
+                  "unroutable_head_ bit for node ", v,
+                  " disagrees with routing (next hop ", hop, ")");
+    }
+  }
+
+  // Battery / death bookkeeping. kill_node() is the only writer of dead_,
+  // death_slot_ and the zeroed battery, so these must agree exactly.
+  for (std::size_t v = 0; v < n; ++v) {
+    TTDC_DCHECK(dead_.test(v) == (death_slot_[v] != kNeverDied),
+                "dead_ bit for node ", v, " disagrees with death_slot_ ", death_slot_[v]);
+    if (config_.battery_mj > 0.0) {
+      if (dead_.test(v)) {
+        TTDC_DCHECK(battery_[v] == 0.0, "dead node ", v, " holds ", battery_[v], " mJ");
+      } else {
+        TTDC_DCHECK(battery_[v] > 0.0, "alive node ", v, " at ", battery_[v], " mJ");
+      }
+    }
+  }
+  TTDC_DCHECK(!transmitting_.intersects(dead_), "a dead node is in the transmitter set");
+
+  // State-slot counters: a node accrues transmit/receive/listen slots only
+  // while participating (finalize_sleep_counts() derives sleep from this
+  // identity, so underflow here would wrap the sleep counter).
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t passes =
+        death_slot_[v] == kNeverDied ? stats_.slots_run : death_slot_[v] + 1;
+    const auto& s = stats_.state_slots[v];
+    TTDC_DCHECK(s[kTransmitIdx] + s[kReceiveIdx] + s[kListenIdx] <= passes,
+                "node ", v, " active-state slots ",
+                s[kTransmitIdx] + s[kReceiveIdx] + s[kListenIdx],
+                " exceed its ", passes, " participated slots");
+  }
+
+  // MAC batched-vs-scalar cross-check (the fill_slot_sets() contract in
+  // mac.hpp). Local sets: the audit must not clobber the per-slot scratch.
+  util::DynamicBitset recv(n);
+  util::DynamicBitset elig(n);
+  if (mac_.fill_slot_sets(recv, elig)) {
+    TTDC_DCHECK(recv.size() == n && elig.size() == n,
+                "fill_slot_sets resized its bitsets: ", recv.size(), " / ", elig.size());
+    const bool gates = mac_.sender_gates_on_receiver();
+    for (std::size_t v = 0; v < n; ++v) {
+      TTDC_DCHECK(recv.test(v) == mac_.can_receive(v),
+                  "MAC receiver set disagrees with can_receive at node ", v);
+      // The sleep promise phase 3 depends on: not transmitting, not
+      // receiving => asleep.
+      if (!recv.test(v) && !elig.test(v)) {
+        TTDC_DCHECK(mac_.idle_state(v) == RadioState::kSleep,
+                    "MAC broke the sleep contract: node ", v,
+                    " is in neither slot set but idle_state != kSleep");
+      }
+      // Transmit decisions: replay the batched phase-1 predicate against
+      // the scalar answer for every backlogged node with a routable head.
+      if (!dead_.test(v) && !queues_[v].empty()) {
+        const std::size_t hop = routing_.next_hop(v, queues_[v].front().destination);
+        if (hop != kNoHop) {
+          const bool batched_tx = elig.test(v) && (!gates || recv.test(hop));
+          TTDC_DCHECK(mac_.wants_transmit(v, hop) == batched_tx,
+                      "MAC transmit sets disagree with wants_transmit: node ", v,
+                      " -> ", hop, " (batched says ", batched_tx, ")");
+        }
+      }
+    }
+  }
+#endif
 }
 
 void Simulator::inject(std::size_t origin, std::size_t destination) {

@@ -103,6 +103,26 @@ class Simulator {
   /// the MAC. The node count must not change.
   void set_graph(net::Graph graph);
 
+  /// Cross-checks the simulator's incremental state against its defining
+  /// invariants and the MAC's batched answers against its scalar ones:
+  ///
+  ///   * every PacketQueue's ring invariants; backlogged_ and
+  ///     unroutable_head_ agree with the queues and the routing table;
+  ///   * dead_/battery_/death_slot_ are mutually consistent and no dead
+  ///     node is transmitting;
+  ///   * per-node state-slot counters never exceed the slots the node
+  ///     participated in (the sleep-identity of finalize_sleep_counts());
+  ///   * fill_slot_sets() agrees with can_receive()/wants_transmit()/
+  ///     idle_state() per node, per the contract in mac.hpp (including the
+  ///     sender_gates_on_receiver() gating and the sleep promise phase 3
+  ///     relies on).
+  ///
+  /// O(n · queue depth) + one batched MAC query; intended for tests and
+  /// debugging, not the hot path. Compiled to a no-op unless contract
+  /// checks are enabled (TTDC_ENABLE_CHECKS); violations report through
+  /// TTDC_DCHECK (abort, or ContractViolation in throw mode).
+  void audit_invariants() const;
+
   /// Simulation statistics. In the batched pipeline, per-node sleep-slot
   /// counts are materialized lazily on this call (they are derived, not
   /// accumulated, so sleepy networks cost O(awake) per slot, not O(n));

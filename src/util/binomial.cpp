@@ -7,15 +7,19 @@
 
 namespace ttdc::util {
 
-namespace {
-
-// Checked a*b for u128.
-u128 mul_checked(u128 a, u128 b) {
-  if (a != 0 && b > static_cast<u128>(-1) / a) throw CountingOverflow();
+u128 checked_mul(u128 a, u128 b) {
+  if (a != 0 && b > static_cast<u128>(-1) / a) {
+    throw CountingOverflow("u128 overflow: " + u128_to_string(a) + " * " + u128_to_string(b));
+  }
   return a * b;
 }
 
-}  // namespace
+u128 checked_add(u128 a, u128 b) {
+  if (a > static_cast<u128>(-1) - b) {
+    throw CountingOverflow("u128 overflow: " + u128_to_string(a) + " + " + u128_to_string(b));
+  }
+  return a + b;
+}
 
 u128 binomial_exact(std::uint64_t n, std::uint64_t k) {
   if (k > n) return 0;
@@ -24,7 +28,7 @@ u128 binomial_exact(std::uint64_t n, std::uint64_t k) {
   // Multiply/divide interleaved; result stays integral at every step because
   // C(n - k + i, i) is integral.
   for (std::uint64_t i = 1; i <= k; ++i) {
-    result = mul_checked(result, n - k + i);
+    result = checked_mul(result, n - k + i);
     result /= i;
   }
   return result;
@@ -52,7 +56,7 @@ long double binomial_ld(std::uint64_t n, std::uint64_t k) {
 u128 falling_factorial_exact(std::uint64_t n, std::uint64_t k) {
   u128 result = 1;
   for (std::uint64_t i = 0; i < k; ++i) {
-    result = mul_checked(result, n - i);
+    result = checked_mul(result, n - i);
   }
   return result;
 }

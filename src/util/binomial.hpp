@@ -13,11 +13,23 @@ namespace ttdc::util {
 
 using u128 = unsigned __int128;
 
-/// Thrown when an exact counting operation would exceed 128 bits.
+/// Thrown when an exact counting operation would exceed 128 bits. The
+/// message carries the overflow witness (the offending operands) when the
+/// failure came from checked_mul/checked_add.
 class CountingOverflow : public std::overflow_error {
  public:
   CountingOverflow() : std::overflow_error("binomial computation overflowed 128 bits") {}
+  explicit CountingOverflow(const std::string& what) : std::overflow_error(what) {}
 };
+
+/// Overflow-checked a * b over u128; throws CountingOverflow naming both
+/// operands (the explicit overflow witness) instead of wrapping silently.
+/// All exact counting paths (binomials, Theorems 2-4 throughput fractions)
+/// funnel their products through this.
+u128 checked_mul(u128 a, u128 b);
+
+/// Overflow-checked a + b over u128; throws CountingOverflow with witness.
+u128 checked_add(u128 a, u128 b);
 
 /// Exact C(n, k). Returns 0 when k > n. Throws CountingOverflow if the
 /// result (or an intermediate product step) does not fit in 128 bits.

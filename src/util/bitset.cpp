@@ -15,7 +15,8 @@ void DynamicBitset::reset_all() {
 }
 
 void DynamicBitset::copy_from(const DynamicBitset& other) {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] = other.words_[i];
 }
 
@@ -38,7 +39,8 @@ bool DynamicBitset::none() const {
 }
 
 bool DynamicBitset::intersects(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & other.words_[i]) != 0) return true;
   }
@@ -46,7 +48,8 @@ bool DynamicBitset::intersects(const DynamicBitset& other) const {
 }
 
 bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & ~other.words_[i]) != 0) return false;
   }
@@ -54,7 +57,8 @@ bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
 }
 
 std::size_t DynamicBitset::intersection_count(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
@@ -63,7 +67,8 @@ std::size_t DynamicBitset::intersection_count(const DynamicBitset& other) const 
 }
 
 std::size_t DynamicBitset::difference_count(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += static_cast<std::size_t>(std::popcount(words_[i] & ~other.words_[i]));
@@ -72,7 +77,8 @@ std::size_t DynamicBitset::difference_count(const DynamicBitset& other) const {
 }
 
 bool DynamicBitset::has_member_outside(const DynamicBitset& other) const {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & ~other.words_[i]) != 0) return true;
   }
@@ -80,25 +86,29 @@ bool DynamicBitset::has_member_outside(const DynamicBitset& other) const {
 }
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
   return *this;
 }
 
 DynamicBitset& DynamicBitset::subtract(const DynamicBitset& other) {
-  assert(size_ == other.size_);
+  TTDC_DCHECK(size_ == other.size_, "bitset universe mismatch: ", size_, " vs ",
+              other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   return *this;
 }
@@ -157,7 +167,8 @@ std::string DynamicBitset::to_string() const {
 
 std::size_t DynamicBitset::count_and_andnot(const DynamicBitset& a,
                                             const DynamicBitset& b) const {
-  assert(size_ == a.size_ && size_ == b.size_);
+  TTDC_DCHECK(size_ == a.size_ && size_ == b.size_,
+              "bitset universe mismatch: ", size_, " vs ", a.size_, " / ", b.size_);
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     total += static_cast<std::size_t>(std::popcount(words_[i] & a.words_[i] & ~b.words_[i]));
@@ -166,7 +177,8 @@ std::size_t DynamicBitset::count_and_andnot(const DynamicBitset& a,
 }
 
 bool DynamicBitset::any_and_andnot(const DynamicBitset& a, const DynamicBitset& b) const {
-  assert(size_ == a.size_ && size_ == b.size_);
+  TTDC_DCHECK(size_ == a.size_ && size_ == b.size_,
+              "bitset universe mismatch: ", size_, " vs ", a.size_, " / ", b.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) {
     if ((words_[i] & a.words_[i] & ~b.words_[i]) != 0) return true;
   }

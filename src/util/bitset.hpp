@@ -8,12 +8,13 @@
 #pragma once
 
 #include <bit>
-#include <cassert>
 #include <cstdint>
 #include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace ttdc::util {
 
@@ -42,17 +43,17 @@ class DynamicBitset {
   [[nodiscard]] std::size_t size() const { return size_; }
 
   [[nodiscard]] bool test(std::size_t pos) const {
-    assert(pos < size_);
+    TTDC_CHECK_BOUNDS(pos, size_);
     return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1u;
   }
 
   void set(std::size_t pos) {
-    assert(pos < size_);
+    TTDC_CHECK_BOUNDS(pos, size_);
     words_[pos / kWordBits] |= Word{1} << (pos % kWordBits);
   }
 
   void reset(std::size_t pos) {
-    assert(pos < size_);
+    TTDC_CHECK_BOUNDS(pos, size_);
     words_[pos / kWordBits] &= ~(Word{1} << (pos % kWordBits));
   }
 

@@ -1,0 +1,45 @@
+#include "util/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ttdc::check {
+
+namespace {
+std::atomic<FailureAction> g_action{FailureAction::kAbort};
+}  // namespace
+
+FailureAction set_failure_action(FailureAction action) noexcept {
+  return g_action.exchange(action, std::memory_order_acq_rel);
+}
+
+FailureAction failure_action() noexcept {
+  return g_action.load(std::memory_order_acquire);
+}
+
+bool library_checks_enabled() noexcept { return TTDC_ENABLE_CHECKS != 0; }
+
+namespace detail {
+
+void fail(const char* file, int line, const char* expr, const std::string& msg) {
+  std::string report = "ttdc contract violation at ";
+  report += file;
+  report += ':';
+  report += std::to_string(line);
+  report += ": CHECK(";
+  report += expr;
+  report += ") failed";
+  if (!msg.empty()) {
+    report += ": ";
+    report += msg;
+  }
+  if (failure_action() == FailureAction::kThrow) {
+    throw ContractViolation(report);
+  }
+  std::fprintf(stderr, "%s\n", report.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace ttdc::check

@@ -1,0 +1,118 @@
+// ttdc::check — the contract/invariant layer (DESIGN.md §9).
+//
+// Three macros, in decreasing cost tolerance:
+//
+//   TTDC_ASSERT(cond, msg...)        always compiled in; for cold paths and
+//                                    API boundaries (constructor contracts,
+//                                    topology swaps) where the check is
+//                                    negligible next to the operation.
+//   TTDC_DCHECK(cond, msg...)        compiled in only when TTDC_ENABLE_CHECKS
+//                                    (default: !NDEBUG); for hot paths —
+//                                    bitset word kernels, per-slot queue
+//                                    operations — where Release must pay
+//                                    nothing, not even the branch.
+//   TTDC_CHECK_BOUNDS(idx, bound)    TTDC_DCHECK(idx < bound) with both
+//                                    values in the failure message.
+//
+// The msg... arguments are streamed (operator<<) into the failure report and
+// are evaluated only on failure, so `TTDC_DCHECK(a == b, "got ", a)` costs a
+// comparison on the passing path.
+//
+// On violation the installed FailureAction decides: kAbort (default) prints
+// the report to stderr and aborts — a contract violation means library state
+// is already corrupt, continuing forges results; kThrow raises
+// check::ContractViolation instead, which is what the tests install so a
+// negative test is an EXPECT_THROW rather than a death test.
+//
+// Release builds compile TTDC_DCHECK to nothing (the condition is not even
+// evaluated); -DTTDC_CHECKS=ON forces them back on in any build type.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#ifndef TTDC_ENABLE_CHECKS
+#ifdef NDEBUG
+#define TTDC_ENABLE_CHECKS 0
+#else
+#define TTDC_ENABLE_CHECKS 1
+#endif
+#endif
+
+namespace ttdc::check {
+
+/// Raised on contract violation when FailureAction::kThrow is installed.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+enum class FailureAction {
+  kAbort,  // report to stderr, std::abort() (default)
+  kThrow,  // throw ContractViolation (death-free GTest)
+};
+
+/// Installs the process-wide failure action; returns the previous one.
+FailureAction set_failure_action(FailureAction action) noexcept;
+[[nodiscard]] FailureAction failure_action() noexcept;
+
+/// RAII: install kThrow for a test scope, restore on exit.
+class ScopedThrowOnViolation {
+ public:
+  ScopedThrowOnViolation() : previous_(set_failure_action(FailureAction::kThrow)) {}
+  ~ScopedThrowOnViolation() { set_failure_action(previous_); }
+  ScopedThrowOnViolation(const ScopedThrowOnViolation&) = delete;
+  ScopedThrowOnViolation& operator=(const ScopedThrowOnViolation&) = delete;
+
+ private:
+  FailureAction previous_;
+};
+
+/// True when the ttdc *libraries* were compiled with TTDC_ENABLE_CHECKS.
+/// Tests branch on this: Simulator::audit_invariants() fails loudly when it
+/// is true and is a compiled-out no-op when it is false. (A test TU can
+/// re-enable the macros for itself by defining TTDC_ENABLE_CHECKS before
+/// including this header; that does not change what the libraries do.)
+[[nodiscard]] bool library_checks_enabled() noexcept;
+
+namespace detail {
+
+/// Renders the report and aborts or throws per the installed action.
+[[noreturn]] void fail(const char* file, int line, const char* expr, const std::string& msg);
+
+template <typename... Args>
+std::string format(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace ttdc::check
+
+#define TTDC_ASSERT(cond, ...)                                             \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::ttdc::check::detail::fail(__FILE__, __LINE__, #cond,               \
+                                  ::ttdc::check::detail::format(__VA_ARGS__)); \
+    }                                                                      \
+  } while (false)
+
+#if TTDC_ENABLE_CHECKS
+#define TTDC_DCHECK(cond, ...) TTDC_ASSERT(cond, __VA_ARGS__)
+#define TTDC_CHECK_BOUNDS(idx, bound)                                      \
+  TTDC_ASSERT((idx) < (bound), "index ", (idx), " out of bounds [0, ", (bound), ")")
+#else
+// Compiled out: the condition and message operands are never evaluated.
+#define TTDC_DCHECK(cond, ...) \
+  do {                         \
+  } while (false)
+#define TTDC_CHECK_BOUNDS(idx, bound) \
+  do {                                \
+  } while (false)
+#endif

@@ -3,6 +3,8 @@
 // Used by the exact Requirement checkers (parallel over node x), Monte-Carlo
 // replicates, and bench grids. Kept deliberately small: a parallel index
 // loop and a parallel reduction; stateful simulation never runs under these.
+// The helpers are not reentrant: nested or concurrent calls from multiple
+// threads are not supported.
 #pragma once
 
 #include <atomic>
@@ -12,6 +14,19 @@
 
 #ifdef _OPENMP
 #include <omp.h>
+#endif
+
+// Detect a ThreadSanitizer build (GCC defines __SANITIZE_THREAD__, Clang
+// exposes it via __has_feature).
+#if defined(__SANITIZE_THREAD__)
+#define TTDC_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TTDC_TSAN_BUILD 1
+#endif
+#endif
+#ifndef TTDC_TSAN_BUILD
+#define TTDC_TSAN_BUILD 0
 #endif
 
 namespace ttdc::util {
@@ -31,11 +46,68 @@ inline int hardware_parallelism() {
 /// 16 amortizes the queue traffic while still balancing skewed workloads.
 inline constexpr int kParallelChunk = 16;
 
+#if defined(_OPENMP) && TTDC_TSAN_BUILD
+namespace detail {
+
+// libgomp synchronizes its fork/join with futexes ThreadSanitizer cannot
+// see, so under TSan a worker's very first closure read (the _omp_fn
+// prologue loading firstprivate loop bounds) is reported as racing with the
+// caller's setup writes — a false positive no user code can avoid from
+// inside the region. Publishing all region state through these globals with
+// a release-store and reading it back after an acquire-load inside the
+// region re-creates the fork edge in TSan's happens-before graph; the
+// release-increment per thread plus one acquire-load after the region
+// re-creates the join edge (libgomp's implicit end-of-region barrier
+// guarantees every increment has happened by then). The globals also mean
+// the region body captures nothing, so the prologue has nothing to read.
+// Real races in fn remain visible: only the fork/join edges are annotated,
+// never the per-iteration accesses. A handful of atomic ops per region,
+// paid only in TSan builds.
+struct RegionHandoff {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  const void* ctx = nullptr;
+  void (*invoke)(const void*, std::size_t) = nullptr;
+};
+inline RegionHandoff g_handoff;
+inline std::atomic<unsigned> g_fork{0};
+inline std::atomic<unsigned> g_join{0};
+
+template <typename Fn>
+void invoke_thunk(const void* ctx, std::size_t i) {
+  (*static_cast<const Fn*>(ctx))(i);
+}
+
+template <typename Fn>
+void tsan_parallel_for(std::size_t begin, std::size_t end, const Fn& fn) {
+  g_handoff = RegionHandoff{begin, end, &fn, &invoke_thunk<Fn>};
+  g_fork.store(1, std::memory_order_release);
+#pragma omp parallel
+  {
+    (void)g_fork.load(std::memory_order_acquire);  // fork edge
+    const RegionHandoff h = g_handoff;
+#pragma omp for schedule(dynamic, kParallelChunk) nowait
+    for (std::int64_t i = static_cast<std::int64_t>(h.begin);
+         i < static_cast<std::int64_t>(h.end); ++i) {
+      h.invoke(h.ctx, static_cast<std::size_t>(i));
+    }
+    g_join.fetch_add(1, std::memory_order_release);
+  }
+  (void)g_join.load(std::memory_order_acquire);  // join edge
+  g_join.store(0, std::memory_order_relaxed);
+  g_fork.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+#endif  // _OPENMP && TTDC_TSAN_BUILD
+
 /// fn(i) for i in [begin, end), dynamically scheduled across threads.
 /// fn must be safe to call concurrently for distinct i.
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
-#ifdef _OPENMP
+#if defined(_OPENMP) && TTDC_TSAN_BUILD
+  detail::tsan_parallel_for(begin, end, fn);
+#elif defined(_OPENMP)
 #pragma omp parallel for schedule(dynamic, kParallelChunk)
   for (std::int64_t i = static_cast<std::int64_t>(begin); i < static_cast<std::int64_t>(end);
        ++i) {
@@ -52,8 +124,19 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
 template <typename Fn>
 auto parallel_sum(std::size_t begin, std::size_t end, Fn&& fn) -> decltype(fn(begin)) {
   using Acc = decltype(fn(begin));
+#if defined(_OPENMP) && TTDC_TSAN_BUILD
+  // Per-thread slots instead of `omp critical`: gomp_critical locks via
+  // futex, invisible to TSan, so the combine would be a false race.
+  std::vector<Acc> partial(static_cast<std::size_t>(omp_get_max_threads()), Acc{});
+  auto body = [&](std::size_t i) {
+    partial[static_cast<std::size_t>(omp_get_thread_num())] += fn(i);
+  };
+  detail::tsan_parallel_for(begin, end, body);
   Acc total{};
-#ifdef _OPENMP
+  for (const Acc& a : partial) total += a;
+  return total;
+#elif defined(_OPENMP)
+  Acc total{};
 #pragma omp parallel
   {
     Acc local{};
@@ -65,10 +148,12 @@ auto parallel_sum(std::size_t begin, std::size_t end, Fn&& fn) -> decltype(fn(be
 #pragma omp critical(ttdc_parallel_sum)
     total += local;
   }
-#else
-  for (std::size_t i = begin; i < end; ++i) total += fn(i);
-#endif
   return total;
+#else
+  Acc total{};
+  for (std::size_t i = begin; i < end; ++i) total += fn(i);
+  return total;
+#endif
 }
 
 /// Parallel "does any i satisfy pred" with early termination via a shared
@@ -80,6 +165,13 @@ bool parallel_any(std::size_t begin, std::size_t end, Pred&& pred) {
   // Relaxed ordering suffices: the flag is monotone (false -> true) and only
   // gates whether remaining iterations bother calling pred.
   std::atomic<bool> found{false};
+#if TTDC_TSAN_BUILD
+  auto body = [&](std::size_t i) {
+    if (found.load(std::memory_order_relaxed)) return;
+    if (pred(i)) found.store(true, std::memory_order_relaxed);
+  };
+  detail::tsan_parallel_for(begin, end, body);
+#else
 #pragma omp parallel for schedule(dynamic, kParallelChunk) shared(found)
   for (std::int64_t i = static_cast<std::int64_t>(begin); i < static_cast<std::int64_t>(end);
        ++i) {
@@ -88,6 +180,7 @@ bool parallel_any(std::size_t begin, std::size_t end, Pred&& pred) {
       found.store(true, std::memory_order_relaxed);
     }
   }
+#endif
   return found.load(std::memory_order_relaxed);
 #else
   for (std::size_t i = begin; i < end; ++i) {

@@ -1,0 +1,141 @@
+// ttdc::check contract-layer semantics (DESIGN.md §9).
+//
+// This TU force-enables the macros for itself regardless of build type, so
+// the macro semantics are testable even in a Release tree where the
+// *libraries* compiled them out. Tests that depend on how the libraries
+// were built branch on check::library_checks_enabled() instead.
+#define TTDC_ENABLE_CHECKS 1
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "util/binomial.hpp"
+
+namespace {
+
+using ttdc::check::ContractViolation;
+using ttdc::check::FailureAction;
+using ttdc::check::ScopedThrowOnViolation;
+
+TEST(Check, PassingConditionIsSilent) {
+  ScopedThrowOnViolation guard;
+  EXPECT_NO_THROW(TTDC_ASSERT(1 + 1 == 2, "arithmetic broke"));
+  EXPECT_NO_THROW(TTDC_DCHECK(true));
+  EXPECT_NO_THROW(TTDC_CHECK_BOUNDS(0, 1));
+}
+
+TEST(Check, FailureThrowsWithLocationAndExpression) {
+  ScopedThrowOnViolation guard;
+  try {
+    TTDC_ASSERT(2 + 2 == 5, "math is fine, actually");
+    FAIL() << "TTDC_ASSERT did not fire";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("math is fine, actually"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, MessageOperandsAreStreamed) {
+  ScopedThrowOnViolation guard;
+  const std::size_t got = 7;
+  const std::size_t want = 3;
+  try {
+    TTDC_DCHECK(got == want, "got ", got, ", want ", want);
+    FAIL() << "TTDC_DCHECK did not fire";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("got 7, want 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Check, MessageOperandsNotEvaluatedOnPass) {
+  ScopedThrowOnViolation guard;
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  TTDC_ASSERT(true, "value ", count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Check, BoundsMacroNamesIndexAndBound) {
+  ScopedThrowOnViolation guard;
+  const std::size_t idx = 12;
+  const std::size_t bound = 10;
+  try {
+    TTDC_CHECK_BOUNDS(idx, bound);
+    FAIL() << "TTDC_CHECK_BOUNDS did not fire";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("index 12"), std::string::npos) << what;
+    EXPECT_NE(what.find("[0, 10)"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ScopedThrowRestoresPreviousAction) {
+  ASSERT_EQ(ttdc::check::failure_action(), FailureAction::kAbort);
+  {
+    ScopedThrowOnViolation guard;
+    EXPECT_EQ(ttdc::check::failure_action(), FailureAction::kThrow);
+    {
+      ScopedThrowOnViolation nested;
+      EXPECT_EQ(ttdc::check::failure_action(), FailureAction::kThrow);
+    }
+    EXPECT_EQ(ttdc::check::failure_action(), FailureAction::kThrow);
+  }
+  EXPECT_EQ(ttdc::check::failure_action(), FailureAction::kAbort);
+}
+
+// ------------------------------------------------- checked u128 arithmetic
+
+using ttdc::util::checked_add;
+using ttdc::util::checked_mul;
+using ttdc::util::CountingOverflow;
+using ttdc::util::u128;
+
+TEST(CheckedArithmetic, InRangeProductsAndSums) {
+  EXPECT_EQ(checked_mul(0, ~u128{0}), u128{0});
+  EXPECT_EQ(checked_mul(3, 5), u128{15});
+  EXPECT_EQ(checked_add(~u128{0} - 1, 1), ~u128{0});
+  // The largest representable square root: (2^64 - 1)^2 fits in 128 bits.
+  const u128 r = checked_mul(std::numeric_limits<std::uint64_t>::max(),
+                             std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r, static_cast<u128>(std::numeric_limits<std::uint64_t>::max()) *
+                   std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CheckedArithmetic, MulOverflowCarriesWitness) {
+  const u128 big = u128{1} << 127;
+  try {
+    (void)checked_mul(big, 2);
+    FAIL() << "checked_mul did not throw";
+  } catch (const CountingOverflow& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(ttdc::util::u128_to_string(big)), std::string::npos) << what;
+    EXPECT_NE(what.find(" * 2"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckedArithmetic, AddOverflowCarriesWitness) {
+  try {
+    (void)checked_add(~u128{0}, 1);
+    FAIL() << "checked_add did not throw";
+  } catch (const CountingOverflow& e) {
+    EXPECT_NE(std::string(e.what()).find(" + 1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CheckedArithmetic, BinomialOverflowPropagates) {
+  // C(120, 60) ~ 9.6e34 fits in 128 bits (max ~3.4e38); C(1000, 500) does not.
+  EXPECT_NO_THROW((void)ttdc::util::binomial_exact(120, 60));
+  EXPECT_THROW((void)ttdc::util::binomial_exact(1000, 500), CountingOverflow);
+  EXPECT_THROW((void)ttdc::util::falling_factorial_exact(1000, 40), CountingOverflow);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Race-regression tests for the OpenMP helpers and their main consumers.
+//
+// These run in every build, but their reason to exist is the -DTSAN=ON tree
+// (CI job, scripts): they hammer parallel_for / parallel_sum / parallel_any
+// and the parallel Requirement checkers with enough concurrent traffic that
+// an unsynchronized access surfaces as a ThreadSanitizer report. Set
+// OMP_NUM_THREADS=4 (or more) when running them under TSan on small
+// machines — with one thread there is nothing to race.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/requirements.hpp"
+#include "core/schedule.hpp"
+
+namespace {
+
+using ttdc::core::Schedule;
+using ttdc::core::TransparencyViolation;
+using ttdc::util::DynamicBitset;
+
+constexpr std::size_t kN = 10'000;
+constexpr int kRounds = 20;  // repeated fork/join stresses thread-pool reuse
+
+TEST(ParallelRace, ForWritesDistinctIndices) {
+  std::vector<std::uint32_t> out(kN);
+  for (int round = 0; round < kRounds; ++round) {
+    ttdc::util::parallel_for(0, kN, [&](std::size_t i) {
+      out[i] = static_cast<std::uint32_t>(i + static_cast<std::size_t>(round));
+    });
+    for (std::size_t i = 0; i < kN; i += 997) {
+      ASSERT_EQ(out[i], i + static_cast<std::size_t>(round));
+    }
+  }
+}
+
+TEST(ParallelRace, ForContendedAtomicCounter) {
+  // All iterations hit ONE cache line: maximal contention on the flag the
+  // helpers' synchronization must order correctly.
+  std::atomic<std::uint64_t> hits{0};
+  for (int round = 0; round < kRounds; ++round) {
+    hits.store(0, std::memory_order_relaxed);
+    ttdc::util::parallel_for(0, kN, [&](std::size_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(hits.load(), kN);
+  }
+}
+
+TEST(ParallelRace, SumMatchesSerialReduction) {
+  const std::uint64_t want = kN * (kN - 1) / 2;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto got = ttdc::util::parallel_sum(
+        0, kN, [](std::size_t i) { return static_cast<std::uint64_t>(i); });
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(ParallelRace, AnyFindsLoneWitness) {
+  for (std::size_t witness : {std::size_t{0}, kN / 2, kN - 1}) {
+    EXPECT_TRUE(ttdc::util::parallel_any(
+        0, kN, [witness](std::size_t i) { return i == witness; }));
+  }
+  EXPECT_FALSE(ttdc::util::parallel_any(0, kN, [](std::size_t) { return false; }));
+}
+
+TEST(ParallelRace, AnyStopsCallingPredAfterWitness) {
+  // The early-exit contract: once a witness is found, remaining iterations
+  // skip the predicate. An immediate witness must leave most of the range
+  // unvisited on every code path (serial returns at once; the OpenMP paths
+  // check the shared flag before each call).
+  std::atomic<std::uint64_t> calls{0};
+  const bool found = ttdc::util::parallel_any(0, kN, [&](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return true;  // first evaluated iteration is a witness
+  });
+  EXPECT_TRUE(found);
+  EXPECT_LT(calls.load(), kN / 2) << "early exit did not short-circuit";
+  EXPECT_GE(calls.load(), 1u);
+}
+
+TEST(ParallelRace, AnyUnderContention) {
+  // Every iteration reads the shared flag; half the range are witnesses, so
+  // many threads race to store true concurrently (a benign monotone race
+  // the implementation must realize with atomics).
+  for (int round = 0; round < kRounds; ++round) {
+    EXPECT_TRUE(ttdc::util::parallel_any(
+        0, kN, [](std::size_t i) { return i % 2 == 0; }));
+  }
+}
+
+// ---- the parallel Requirement checkers (mutex + atomics under the hood) --
+
+// TDMA identity schedule: node i owns slot i. Topology-transparent for any
+// D <= n - 1 (freeSlots(x, Y) = {x} always survives).
+Schedule identity_schedule(std::size_t n) {
+  std::vector<DynamicBitset> t;
+  t.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) t.push_back(DynamicBitset(n, {i}));
+  return Schedule::non_sleeping(n, std::move(t));
+}
+
+// Everyone transmits in the single slot: freeSlots(x, Y) = ∅ for any
+// non-empty Y, so every checker must produce a violation.
+Schedule degenerate_schedule(std::size_t n) {
+  std::vector<DynamicBitset> t = {DynamicBitset(n).complement()};
+  return Schedule(n, std::move(t), {DynamicBitset(n)});
+}
+
+TEST(ParallelRace, RequirementCheckersCleanSchedule) {
+  const Schedule s = identity_schedule(8);
+  EXPECT_FALSE(ttdc::core::check_requirement1_exact(s, 3).has_value());
+  EXPECT_FALSE(ttdc::core::check_requirement2_exact(s, 3).has_value());
+  EXPECT_FALSE(ttdc::core::check_requirement3_exact(s, 3).has_value());
+}
+
+TEST(ParallelRace, RequirementCheckersAllRacingToOneViolation) {
+  // Every node x is a violation witness, so all worker threads contend on
+  // the result mutex/flag at once — the hammer for the checkers' combine.
+  const Schedule s = degenerate_schedule(10);
+  for (int round = 0; round < 5; ++round) {
+    const auto v1 = ttdc::core::check_requirement1_exact(s, 2);
+    ASSERT_TRUE(v1.has_value());
+    EXPECT_LT(v1->transmitter, 10u);
+    EXPECT_EQ(v1->neighborhood.size(), 2u);
+    const auto v3 = ttdc::core::check_requirement3_exact(s, 2);
+    ASSERT_TRUE(v3.has_value());
+    EXPECT_LT(v3->transmitter, 10u);
+  }
+}
+
+}  // namespace
