@@ -50,10 +50,17 @@ fi
 
 echo "== clang-tidy not found; falling back to gcc -fanalyzer"
 analyzer_dir="${repo_root}/build-analyzer"
+# Two analyzer classes are disabled: GCC <= 13's analyzer does not model
+# libstdc++ containers/streams and reports their internals as leaks
+# (vector _M_start "leaking" in a normally-unwinding destructor) and
+# uninitialized reads (ostringstream::str()). Every finding from those two
+# classes on this tree was such a false positive; the remaining classes
+# (null-deref, use-after-free, double-free, infinite-loop, ...) stay on.
 cmake -B "${analyzer_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DTTDC_BUILD_TESTS=OFF -DTTDC_BUILD_BENCHES=OFF -DTTDC_BUILD_EXAMPLES=OFF \
-  -DCMAKE_CXX_FLAGS="-fanalyzer" >/dev/null
+  -DCMAKE_CXX_FLAGS="-fanalyzer -Wno-analyzer-malloc-leak -Wno-analyzer-use-of-uninitialized-value" \
+  >/dev/null
 # Library targets only: -fanalyzer over gtest/benchmark TUs is noise we
 # cannot act on.
 cmake --build "${analyzer_dir}" -j "${jobs}" --target \
