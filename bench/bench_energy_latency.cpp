@@ -8,14 +8,23 @@
 // uncoordinated random sleeping, and topology-aware coloring TDMA (the
 // non-transparent reference point). Reports delivery ratio, latency
 // percentiles, awake fraction, and energy per delivered packet.
+//
+// Runs as a runner campaign: one cell per MAC. All cells share the grid's
+// BFS routing columns through the campaign ArtifactStore (one build, seven
+// consumers), and the three TT cells share the base schedule build. Each
+// cell keeps the experiment's original fixed seed, so the table reproduces
+// the pre-campaign rows byte for byte at any worker count.
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "combinatorics/constructions.hpp"
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "net/topology.hpp"
 #include "obs/report.hpp"
+#include "runner/runner.hpp"
 #include "sim/mac.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -38,46 +47,76 @@ int main() {
                       {"slots", std::to_string(kSlots)}});
 
   const net::Graph grid = net::grid_graph(kRows, kCols);
-  const core::Schedule base =
-      core::non_sleeping_from_family(comb::polynomial_family(5, 1, kN));
-  const core::Schedule duty_wide = core::construct_duty_cycled(base, kD, 5, 10);
-  const core::Schedule duty_tight = core::construct_duty_cycled(base, kD, 5, 5);
   const sim::EnergyModel energy;
+
+  const auto base_schedule = [](runner::CellContext& ctx) {
+    return ctx.artifacts().schedule("base:poly(5,1)", [] {
+      return core::non_sleeping_from_family(comb::polynomial_family(5, 1, kN));
+    });
+  };
+
+  struct RowSpec {
+    const char* name;
+    std::function<std::unique_ptr<sim::MacProtocol>(runner::CellContext&)> make_mac;
+  };
+  std::vector<RowSpec> specs;
+  specs.push_back({"TT non-sleeping", [&](runner::CellContext& ctx) {
+                     return std::make_unique<sim::DutyCycledScheduleMac>(*base_schedule(ctx));
+                   }});
+  specs.push_back({"TT duty (aR=10)", [&](runner::CellContext& ctx) {
+                     auto base = base_schedule(ctx);
+                     auto duty = ctx.artifacts().schedule("duty:aR=10", [&] {
+                       return core::construct_duty_cycled(*base, kD, 5, 10);
+                     });
+                     return std::make_unique<sim::DutyCycledScheduleMac>(*duty);
+                   }});
+  specs.push_back({"TT duty (aR=5)", [&](runner::CellContext& ctx) {
+                     auto base = base_schedule(ctx);
+                     auto duty = ctx.artifacts().schedule("duty:aR=5", [&] {
+                       return core::construct_duty_cycled(*base, kD, 5, 5);
+                     });
+                     return std::make_unique<sim::DutyCycledScheduleMac>(*duty);
+                   }});
+  specs.push_back({"slotted ALOHA p=0.05", [&](runner::CellContext&) {
+                     return std::make_unique<sim::SlottedAlohaMac>(kN, 0.05);
+                   }});
+  specs.push_back({"uncoord sleep p=0.3", [&](runner::CellContext&) {
+                     return std::make_unique<sim::UncoordinatedSleepMac>(kN, 0.3, 0.5);
+                   }});
+  specs.push_back({"S-MAC-like 25% active", [&](runner::CellContext&) {
+                     return std::make_unique<sim::CommonActivePeriodMac>(kN, 20, 5, 0.2);
+                   }});
+  specs.push_back({"coloring TDMA (topo-aware)", [&grid](runner::CellContext&) {
+                     return std::make_unique<sim::ColoringTdmaMac>(grid);
+                   }});
+
+  runner::Campaign campaign;
+  for (const auto& spec : specs) {
+    campaign.add(spec.name, [&grid, &spec](runner::CellContext& ctx) {
+      auto routing = ctx.artifacts().routing(grid);
+      auto mac = spec.make_mac(ctx);
+      sim::ConvergecastTraffic traffic(kN, kSink, kRate);
+      sim::SimConfig cfg;
+      cfg.seed = 99;  // the experiment's original fixed seed, not ctx.seed()
+      cfg.shared_routing = routing.get();
+      sim::Simulator sim(grid, *mac, traffic, cfg);
+      sim.run(kSlots);
+      ctx.record(sim.stats());
+    });
+  }
+  const runner::CampaignResult result = campaign.run();
 
   util::Table table({"mac", "delivered", "ratio", "lat p50", "lat p95", "awake frac",
                      "energy mJ", "mJ/delivery", "collisions"});
   table.set_precision(4);
-
-  struct Row {
-    const char* name;
-    std::unique_ptr<sim::MacProtocol> mac;
-  };
-  std::vector<Row> rows;
-  rows.push_back({"TT non-sleeping", std::make_unique<sim::DutyCycledScheduleMac>(base)});
-  rows.push_back(
-      {"TT duty (aR=10)", std::make_unique<sim::DutyCycledScheduleMac>(duty_wide)});
-  rows.push_back(
-      {"TT duty (aR=5)", std::make_unique<sim::DutyCycledScheduleMac>(duty_tight)});
-  rows.push_back({"slotted ALOHA p=0.05",
-                  std::make_unique<sim::SlottedAlohaMac>(kN, 0.05)});
-  rows.push_back({"uncoord sleep p=0.3",
-                  std::make_unique<sim::UncoordinatedSleepMac>(kN, 0.3, 0.5)});
-  rows.push_back({"S-MAC-like 25% active",
-                  std::make_unique<sim::CommonActivePeriodMac>(kN, 20, 5, 0.2)});
-  rows.push_back({"coloring TDMA (topo-aware)",
-                  std::make_unique<sim::ColoringTdmaMac>(grid)});
-
-  for (auto& row : rows) {
-    sim::ConvergecastTraffic traffic(kN, kSink, kRate);
-    sim::Simulator sim(grid, *row.mac, traffic, {.seed = 99});
-    sim.run(kSlots);
-    const auto& st = sim.stats();
-    table.add_row({std::string(row.name), static_cast<std::int64_t>(st.delivered),
+  for (const auto& cell : result.cells) {
+    const auto& st = cell.stats;
+    table.add_row({cell.name, static_cast<std::int64_t>(st.delivered),
                    st.delivery_ratio(), static_cast<std::int64_t>(st.latency.percentile(50)),
                    static_cast<std::int64_t>(st.latency.percentile(95)), st.awake_fraction(),
                    st.total_energy_mj(energy), st.energy_per_delivery_mj(energy),
                    static_cast<std::int64_t>(st.collisions)});
-    std::string key(row.name);
+    std::string key = cell.name;
     for (char& c : key) {
       if (c == ' ' || c == '(' || c == ')' || c == '=' || c == '%' || c == '-') c = '_';
     }

@@ -6,14 +6,24 @@
 // life of the network, and deliveries that happened AFTER the first death
 // (the topology-transparent schedules keep serving survivors with zero
 // reconfiguration as the topology shrinks).
+//
+// Runs as a runner campaign: one cell per MAC, schedules and the grid's
+// BFS routing shared through the campaign ArtifactStore. Node death never
+// edits the graph (dead nodes just stop transmitting), so the shared
+// routing table stays valid for the whole run. Each cell keeps the
+// experiment's original fixed seed; "lifetime x" is computed against the
+// always-on row after the campaign, in cell-index order.
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "combinatorics/constructions.hpp"
 #include "core/builders.hpp"
 #include "core/construct.hpp"
 #include "net/topology.hpp"
 #include "obs/report.hpp"
+#include "runner/runner.hpp"
 #include "sim/mac.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -37,56 +47,92 @@ int main() {
                       {"max_slots", std::to_string(kMaxSlots)}});
 
   const net::Graph grid = net::grid_graph(kRows, kCols);
-  const core::Schedule base =
-      core::non_sleeping_from_family(comb::polynomial_family(5, 1, kN));
-  const core::Schedule duty_wide = core::construct_duty_cycled(base, kD, 5, 10);
-  const core::Schedule duty_tight = core::construct_duty_cycled(base, kD, 5, 5);
+
+  const auto base_schedule = [](runner::CellContext& ctx) {
+    return ctx.artifacts().schedule("base:poly(5,1)", [] {
+      return core::non_sleeping_from_family(comb::polynomial_family(5, 1, kN));
+    });
+  };
+  const auto duty_schedule = [&base_schedule](runner::CellContext& ctx, std::size_t alpha_r) {
+    auto base = base_schedule(ctx);
+    std::string key = "duty:aR=";
+    key += std::to_string(alpha_r);
+    return ctx.artifacts().schedule(
+        key, [&] { return core::construct_duty_cycled(*base, kD, 5, alpha_r); });
+  };
+
+  struct RowSpec {
+    const char* name;
+    std::function<std::unique_ptr<sim::MacProtocol>(runner::CellContext&)> make_mac;
+  };
+  std::vector<RowSpec> specs;
+  specs.push_back({"TT non-sleeping", [&](runner::CellContext& ctx) {
+                     return std::make_unique<sim::DutyCycledScheduleMac>(*base_schedule(ctx));
+                   }});
+  specs.push_back({"TT duty (aR=10)", [&](runner::CellContext& ctx) {
+                     return std::make_unique<sim::DutyCycledScheduleMac>(*duty_schedule(ctx, 10));
+                   }});
+  specs.push_back({"TT duty (aR=5)", [&](runner::CellContext& ctx) {
+                     return std::make_unique<sim::DutyCycledScheduleMac>(*duty_schedule(ctx, 5));
+                   }});
+  specs.push_back({"uncoord sleep p=0.3", [&](runner::CellContext&) {
+                     return std::make_unique<sim::UncoordinatedSleepMac>(kN, 0.3, 0.5);
+                   }});
+  specs.push_back({"S-MAC-like 25% active", [&](runner::CellContext&) {
+                     return std::make_unique<sim::CommonActivePeriodMac>(kN, 20, 5, 0.2);
+                   }});
+
+  struct LifeRow {
+    std::uint64_t half_dead = 0, blackout = 0, delivered_at_first_death = 0;
+  };
+  std::vector<LifeRow> life(specs.size());
+
+  runner::Campaign campaign;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    auto& out = life[i];
+    campaign.add(spec.name, [&grid, &spec, &out](runner::CellContext& ctx) {
+      auto routing = ctx.artifacts().routing(grid);
+      auto mac = spec.make_mac(ctx);
+      sim::ConvergecastTraffic traffic(kN, kSink, kRate);
+      sim::SimConfig config;
+      config.seed = 77;  // the experiment's original fixed seed, not ctx.seed()
+      config.battery_mj = kBatteryMj;
+      config.shared_routing = routing.get();
+      sim::Simulator sim(grid, *mac, traffic, config);
+      while (sim.now() < kMaxSlots && sim.alive_count() > 0) {
+        sim.run(1000);
+        if (out.delivered_at_first_death == 0 && sim.stats().deaths > 0) {
+          out.delivered_at_first_death = sim.stats().delivered;
+        }
+        if (out.half_dead == 0 && sim.stats().deaths >= kN / 2) out.half_dead = sim.now();
+        if (sim.alive_count() == 0) out.blackout = sim.now();
+      }
+      ctx.record(sim.stats());
+    });
+  }
+  const runner::CampaignResult result = campaign.run();
 
   util::Table table({"mac", "first death (slot)", "half dead (slot)", "blackout (slot)",
                      "delivered total", "delivered after 1st death", "lifetime x"});
-  struct Row {
-    const char* name;
-    std::unique_ptr<sim::MacProtocol> mac;
-  };
-  std::vector<Row> rows;
-  rows.push_back({"TT non-sleeping", std::make_unique<sim::DutyCycledScheduleMac>(base)});
-  rows.push_back({"TT duty (aR=10)", std::make_unique<sim::DutyCycledScheduleMac>(duty_wide)});
-  rows.push_back({"TT duty (aR=5)", std::make_unique<sim::DutyCycledScheduleMac>(duty_tight)});
-  rows.push_back({"uncoord sleep p=0.3",
-                  std::make_unique<sim::UncoordinatedSleepMac>(kN, 0.3, 0.5)});
-  rows.push_back({"S-MAC-like 25% active",
-                  std::make_unique<sim::CommonActivePeriodMac>(kN, 20, 5, 0.2)});
-
   double always_on_first_death = 0.0;
-  for (auto& row : rows) {
-    sim::ConvergecastTraffic traffic(kN, kSink, kRate);
-    sim::SimConfig config;
-    config.seed = 77;
-    config.battery_mj = kBatteryMj;
-    sim::Simulator sim(grid, *row.mac, traffic, config);
-    std::uint64_t half_dead = 0, blackout = 0, delivered_at_first_death = 0;
-    while (sim.now() < kMaxSlots && sim.alive_count() > 0) {
-      sim.run(1000);
-      if (delivered_at_first_death == 0 && sim.stats().deaths > 0) {
-        delivered_at_first_death = sim.stats().delivered;
-      }
-      if (half_dead == 0 && sim.stats().deaths >= kN / 2) half_dead = sim.now();
-      if (sim.alive_count() == 0) blackout = sim.now();
-    }
-    const double first = static_cast<double>(sim.stats().first_death_slot);
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const auto& st = result.cells[i].stats;
+    const auto& out = life[i];
+    const double first = static_cast<double>(st.first_death_slot);
     if (always_on_first_death == 0.0) always_on_first_death = first;
-    table.add_row(
-        {std::string(row.name), static_cast<std::int64_t>(sim.stats().first_death_slot),
-         static_cast<std::int64_t>(half_dead), static_cast<std::int64_t>(blackout),
-         static_cast<std::int64_t>(sim.stats().delivered),
-         static_cast<std::int64_t>(sim.stats().delivered - delivered_at_first_death),
-         first / always_on_first_death});
-    std::string key(row.name);
+    table.add_row({result.cells[i].name, static_cast<std::int64_t>(st.first_death_slot),
+                   static_cast<std::int64_t>(out.half_dead),
+                   static_cast<std::int64_t>(out.blackout),
+                   static_cast<std::int64_t>(st.delivered),
+                   static_cast<std::int64_t>(st.delivered - out.delivered_at_first_death),
+                   first / always_on_first_death});
+    std::string key = result.cells[i].name;
     for (char& c : key) {
       if (c == ' ' || c == '(' || c == ')' || c == '=' || c == '%' || c == '-') c = '_';
     }
-    report.metric(key + "_first_death_slot", sim.stats().first_death_slot);
-    report.metric(key + "_delivered_total", sim.stats().delivered);
+    report.metric(key + "_first_death_slot", st.first_death_slot);
+    report.metric(key + "_delivered_total", st.delivered);
     report.metric(key + "_lifetime_x", first / always_on_first_death);
   }
   report.metric("macs_compared", table.num_rows());

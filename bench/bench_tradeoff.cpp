@@ -2,7 +2,14 @@
 // Theorem 4/7/8 closed forms and printing the Pareto frontier a deployer
 // would actually choose from (the design-choice ablation DESIGN.md calls
 // out: energy vs throughput vs latency are bought with the two caps).
+//
+// The grid is evaluated as a runner campaign: one cell per αT row, every
+// cell reading the same shared (n, D) ThroughputTables memo from the
+// campaign's ArtifactStore. Cells write into their own row slot and rows
+// concatenate in index order, so the point list is bit-identical to the
+// serial enumerate_tradeoffs() sweep at any worker count.
 #include <iostream>
+#include <vector>
 
 #include "combinatorics/params.hpp"
 #include "core/builders.hpp"
@@ -10,12 +17,13 @@
 #include "core/throughput.hpp"
 #include "core/tradeoff.hpp"
 #include "obs/report.hpp"
+#include "runner/runner.hpp"
 #include "util/table.hpp"
 
 using namespace ttdc;
 
 int main() {
-  constexpr std::size_t kN = 49, kD = 3;
+  constexpr std::size_t kN = 49, kD = 3, kMaxAlphaT = 12, kMaxAlphaR = 24;
   obs::BenchReport report("tradeoff");
   report.param("n", kN);
   report.param("D", kD);
@@ -26,7 +34,21 @@ int main() {
   std::cout << "base: " << plan.to_string() << " (M_in=" << base.min_transmitters()
             << ", M_ax=" << base.max_transmitters() << ")\n\n";
 
-  const auto points = core::enumerate_tradeoffs(base, kD, 12, 24);
+  runner::Campaign campaign;
+  std::vector<std::vector<core::TradeoffPoint>> grid_rows(kMaxAlphaT);
+  for (std::size_t at = 1; at <= kMaxAlphaT; ++at) {
+    auto& row = grid_rows[at - 1];
+    campaign.add("alpha_t=" + std::to_string(at), [&base, &row, at](runner::CellContext& ctx) {
+      const auto tables = ctx.artifacts().throughput(kN, kD);
+      for (std::size_t ar = 1; ar <= kMaxAlphaR && at + ar <= kN; ++ar) {
+        row.push_back(core::evaluate_tradeoff(base, *tables, at, ar));
+      }
+      ctx.metric("points", static_cast<double>(row.size()));
+    });
+  }
+  (void)campaign.run();
+  std::vector<core::TradeoffPoint> points;
+  for (const auto& row : grid_rows) points.insert(points.end(), row.begin(), row.end());
   const auto front = core::pareto_front(points);
   std::cout << points.size() << " grid points, " << front.size() << " on the Pareto front\n\n";
 

@@ -4,23 +4,33 @@
 # root. Exits non-zero if the build fails, any bench fails its paper-claim
 # check, or any report file is missing afterwards.
 #
-# Usage: scripts/run_benches.sh [--perf-check] [build-dir]
+# Usage: scripts/run_benches.sh [--perf-check] [--jobs N] [build-dir]
 #   TTDC_BENCH_DIR  overrides where reports are written (default: repo root)
 #
-# --perf-check: runs only bench_sim_hotpath and compares it against the
-# committed baseline (bench/baselines/), failing on a >25% regression of
-# any scalar-vs-batched speedup. The speedups are gated because the paired
-# measurement cancels machine load and clock drift; absolute slots/sec are
-# printed for context but not gated (they halve under a concurrent build).
-# Regenerate the baseline (copy BENCH_sim_hotpath.json over it) when the
-# pipeline legitimately changes shape.
+# --jobs N: run up to N bench binaries concurrently. Each bench writes its
+# report into a private temp directory (so concurrent benches never race on
+# the same BENCH_*.json) and the reports are moved into TTDC_BENCH_DIR once
+# the bench exits; logs are replayed in the binaries' name order, so the
+# combined output is stable regardless of completion order.
+#
+# --perf-check: runs only the perf-gated benches (bench_sim_hotpath and
+# bench_campaign) and compares them against the committed baselines
+# (bench/baselines/), failing on a >25% regression of any *_speedup metric.
+# The speedups are gated because the paired measurement cancels machine
+# load and clock drift; absolute slots/sec are printed for context but not
+# gated (they halve under a concurrent build). Regenerate a baseline (copy
+# BENCH_<name>.json over it) when the pipeline legitimately changes shape.
 set -euo pipefail
 
 perf_check=0
-if [ "${1:-}" = "--perf-check" ]; then
-  perf_check=1
-  shift
-fi
+jobs=1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --perf-check) perf_check=1; shift ;;
+    --jobs) jobs="$2"; shift 2 ;;
+    *) break ;;
+  esac
+done
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
@@ -29,15 +39,11 @@ export TTDC_BENCH_DIR="$bench_dir"
 
 cmake -B "$build_dir" -S "$repo_root"
 
-if [ "$perf_check" -eq 1 ]; then
-  cmake --build "$build_dir" -j "$(nproc)" --target bench_sim_hotpath
-  echo "=== bench_sim_hotpath (perf check) ==="
-  "$build_dir/bench/bench_sim_hotpath"
-  report="$bench_dir/BENCH_sim_hotpath.json"
-  baseline="$repo_root/bench/baselines/BENCH_sim_hotpath.baseline.json"
-  [ -s "$report" ] || { echo "MISSING REPORT: $report" >&2; exit 1; }
-  [ -s "$baseline" ] || { echo "MISSING BASELINE: $baseline" >&2; exit 1; }
-  python3 - "$report" "$baseline" <<'EOF'
+# compare_baseline <report.json> <baseline.json>
+# Gates every *_speedup metric at 25% below baseline; *_slots_per_sec
+# metrics named in the baseline are printed for context only.
+compare_baseline() {
+  python3 - "$1" "$2" <<'EOF'
 import json, sys
 
 TOLERANCE = 0.25  # fail when a metric drops more than 25% below baseline
@@ -49,7 +55,7 @@ with open(sys.argv[2]) as f:
 
 failures = []
 for key, base in sorted(baseline.items()):
-    if key.endswith("_batched_slots_per_sec"):
+    if key.endswith("_slots_per_sec"):
         cur = current.get(key)
         print(f"  {key}: baseline {base:.4g}, current {cur:.4g} (informational)")
         continue
@@ -72,36 +78,97 @@ if failures:
     sys.exit(1)
 print("perf check passed")
 EOF
-  exit 0
+}
+
+if [ "$perf_check" -eq 1 ]; then
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_sim_hotpath bench_campaign
+  status=0
+  for spec in "bench_sim_hotpath:" "bench_campaign:--perf-check"; do
+    name="${spec%%:*}"
+    flag="${spec#*:}"
+    echo "=== $name (perf check) ==="
+    # shellcheck disable=SC2086
+    "$build_dir/bench/$name" $flag
+    report="$bench_dir/BENCH_${name#bench_}.json"
+    baseline="$repo_root/bench/baselines/BENCH_${name#bench_}.baseline.json"
+    [ -s "$report" ] || { echo "MISSING REPORT: $report" >&2; exit 1; }
+    [ -s "$baseline" ] || { echo "MISSING BASELINE: $baseline" >&2; exit 1; }
+    compare_baseline "$report" "$baseline" || status=1
+  done
+  exit "$status"
 fi
 
 cmake --build "$build_dir" -j "$(nproc)"
 
-status=0
-ran=0
+bins=()
 for bin in "$build_dir"/bench/bench_*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
-  name="$(basename "$bin")"
-  echo
-  echo "=== $name ==="
-  if ! "$bin"; then
-    echo "FAILED: $name" >&2
-    status=1
-  fi
-  ran=$((ran + 1))
-  report="$bench_dir/BENCH_${name#bench_}.json"
-  if [ ! -s "$report" ]; then
-    echo "MISSING REPORT: $report" >&2
-    status=1
-  fi
+  bins+=("$bin")
 done
-
-if [ "$ran" -eq 0 ]; then
+if [ "${#bins[@]}" -eq 0 ]; then
   echo "no bench binaries found under $build_dir/bench" >&2
   exit 1
 fi
 
+status=0
+if [ "$jobs" -le 1 ]; then
+  for bin in "${bins[@]}"; do
+    name="$(basename "$bin")"
+    echo
+    echo "=== $name ==="
+    if ! "$bin"; then
+      echo "FAILED: $name" >&2
+      status=1
+    fi
+    report="$bench_dir/BENCH_${name#bench_}.json"
+    if [ ! -s "$report" ]; then
+      echo "MISSING REPORT: $report" >&2
+      status=1
+    fi
+  done
+else
+  scratch="$(mktemp -d)"
+  trap 'rm -rf "$scratch"' EXIT
+  for bin in "${bins[@]}"; do
+    name="$(basename "$bin")"
+    mkdir -p "$scratch/$name"
+    (
+      # Private report dir per bench: no two benches ever write (or truncate)
+      # the same BENCH_*.json concurrently.
+      if TTDC_BENCH_DIR="$scratch/$name" "$bin" > "$scratch/$name/log" 2>&1; then
+        echo 0 > "$scratch/$name/status"
+      else
+        echo 1 > "$scratch/$name/status"
+      fi
+    ) &
+    while [ "$(jobs -rp | wc -l)" -ge "$jobs" ]; do
+      wait -n || true
+    done
+  done
+  wait || true
+  for bin in "${bins[@]}"; do
+    name="$(basename "$bin")"
+    echo
+    echo "=== $name ==="
+    cat "$scratch/$name/log"
+    if [ "$(cat "$scratch/$name/status")" != "0" ]; then
+      echo "FAILED: $name" >&2
+      status=1
+    fi
+    moved=0
+    for report in "$scratch/$name"/BENCH_*.json; do
+      [ -s "$report" ] || continue
+      mv "$report" "$bench_dir/"
+      moved=1
+    done
+    if [ "$moved" -eq 0 ]; then
+      echo "MISSING REPORT: BENCH_${name#bench_}.json" >&2
+      status=1
+    fi
+  done
+fi
+
 echo
-echo "ran $ran benches; reports in $bench_dir:"
+echo "ran ${#bins[@]} benches; reports in $bench_dir:"
 ls -1 "$bench_dir"/BENCH_*.json 2>/dev/null || true
 exit "$status"

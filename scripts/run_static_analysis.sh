@@ -64,5 +64,5 @@ cmake -B "${analyzer_dir}" -S "${repo_root}" \
 # Library targets only: -fanalyzer over gtest/benchmark TUs is noise we
 # cannot act on.
 cmake --build "${analyzer_dir}" -j "${jobs}" --target \
-  ttdc_util ttdc_gf ttdc_comb ttdc_core ttdc_net ttdc_sim ttdc_obs
+  ttdc_util ttdc_gf ttdc_comb ttdc_core ttdc_net ttdc_sim ttdc_obs ttdc_runner
 echo "gcc -fanalyzer: clean (libraries built with -Werror)"

@@ -115,10 +115,14 @@ std::size_t constructed_frame_length_bound(const Schedule& non_sleeping,
   return kt * kr * non_sleeping.frame_length();
 }
 
-long double theorem8_ratio_lower_bound(const Schedule& non_sleeping, std::size_t degree_bound,
-                                       std::size_t alpha_t, std::size_t alpha_r) {
+namespace {
+
+// The Theorem 8 body after αT* and r(M_in) are resolved; shared by the
+// direct and memoized overloads (which differ only in how they resolve
+// those two quantities).
+long double theorem8_from_cap(const Schedule& non_sleeping, std::size_t cap_t,
+                              std::size_t alpha_r, long double r_min) {
   const std::size_t n = non_sleeping.num_nodes();
-  const std::size_t cap_t = optimal_transmitters_alpha(n, degree_bound, alpha_t);
   const std::size_t min_t = non_sleeping.min_transmitters();
   std::size_t a1 = 0, a2 = 0;
   for (std::size_t t : non_sleeping.transmit_sizes()) {
@@ -130,9 +134,28 @@ long double theorem8_ratio_lower_bound(const Schedule& non_sleeping, std::size_t
   const std::size_t denom_c = (n - min_t + alpha_r - 1) / alpha_r;
   const long double c =
       static_cast<long double>(numer_c - 1) / static_cast<long double>(denom_c);
-  const long double r_min = optimality_ratio_r(n, degree_bound, alpha_t, min_t);
   return (r_min * static_cast<long double>(a1) + c * static_cast<long double>(a2)) /
          (static_cast<long double>(a1) + c * static_cast<long double>(a2));
+}
+
+}  // namespace
+
+long double theorem8_ratio_lower_bound(const Schedule& non_sleeping, std::size_t degree_bound,
+                                       std::size_t alpha_t, std::size_t alpha_r) {
+  const std::size_t n = non_sleeping.num_nodes();
+  const std::size_t cap_t = optimal_transmitters_alpha(n, degree_bound, alpha_t);
+  const long double r_min =
+      optimality_ratio_r(n, degree_bound, alpha_t, non_sleeping.min_transmitters());
+  return theorem8_from_cap(non_sleeping, cap_t, alpha_r, r_min);
+}
+
+long double theorem8_ratio_lower_bound(const Schedule& non_sleeping,
+                                       const ThroughputTables& tables, std::size_t alpha_t,
+                                       std::size_t alpha_r) {
+  const std::size_t cap_t = tables.alpha_star(alpha_t);
+  const long double r_min =
+      optimality_ratio_r(tables, alpha_t, non_sleeping.min_transmitters());
+  return theorem8_from_cap(non_sleeping, cap_t, alpha_r, r_min);
 }
 
 long double theorem9_min_throughput_bound(const Schedule& non_sleeping,

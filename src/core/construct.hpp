@@ -23,6 +23,8 @@
 
 namespace ttdc::core {
 
+class ThroughputTables;  // core/throughput.hpp
+
 enum class DivisionPolicy {
   /// Chunks the sorted member list into consecutive windows; the last
   /// window is completed by wrapping around to the front (overlap lands on
@@ -69,6 +71,13 @@ std::size_t constructed_frame_length_bound(const Schedule& non_sleeping,
 /// Returns 1.0 when M_in >= αT* (the optimality case).
 long double theorem8_ratio_lower_bound(const Schedule& non_sleeping, std::size_t degree_bound,
                                        std::size_t alpha_t, std::size_t alpha_r);
+
+/// Theorem 8 against a shared (n, D) memo (see core/throughput.hpp):
+/// reuses the memoized Theorem 4 αT* instead of recomputing the exact
+/// binomial argmax per call. Bit-identical to the direct form.
+long double theorem8_ratio_lower_bound(const Schedule& non_sleeping,
+                                       const ThroughputTables& tables, std::size_t alpha_t,
+                                       std::size_t alpha_r);
 
 /// Theorem 9: lower bound on Thr_min(constructed): (L / L̄) · Thr_min(<T>),
 /// given the measured min guaranteed slots of <T> per frame. Returns the

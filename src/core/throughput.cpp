@@ -58,6 +58,25 @@ std::size_t g_argmax(std::size_t n, std::size_t degree_bound) {
   return hi;
 }
 
+ThroughputTables::ThroughputTables(std::size_t n, std::size_t degree_bound)
+    : n_(n), d_(degree_bound), binom_(n, degree_bound) {
+  validate(n, degree_bound);
+  g_.resize(n + 1);
+  for (std::size_t x = 0; x <= n; ++x) g_[x] = g_value(n, degree_bound, x);
+  alpha_star_general_ = optimal_transmitters_general(n, degree_bound);
+  alpha_cap_ = optimal_transmitters_alpha(n, degree_bound);
+}
+
+long double ThroughputTables::thm4_bound(std::size_t alpha_t, std::size_t alpha_r) const {
+  // Same expression as throughput_upper_bound_alpha, with the binomials
+  // read from the memo (identical long-double values, identical result).
+  const std::size_t a = alpha_star(alpha_t);
+  return static_cast<long double>(alpha_r) * static_cast<long double>(a) *
+         binom_.ld(n_ - a - 1, d_ - 1) /
+         (static_cast<long double>(n_) * static_cast<long double>(n_ - 1) *
+          binom_.ld(n_ - 2, d_ - 1));
+}
+
 ExactFraction average_throughput_exact(const Schedule& schedule, std::size_t degree_bound) {
   const std::size_t n = schedule.num_nodes();
   validate(n, degree_bound);
@@ -95,6 +114,30 @@ long double average_throughput(const Schedule& schedule, std::size_t degree_boun
     const long double log_term = std::log(static_cast<long double>(t)) +
                                  std::log(static_cast<long double>(r)) +
                                  util::log_binomial(n - t - 1, degree_bound - 1);
+    total += std::exp(log_term - log_den);
+  }
+  return total / static_cast<long double>(L);
+}
+
+long double average_throughput(const Schedule& schedule, const ThroughputTables& tables) {
+  const std::size_t n = schedule.num_nodes();
+  const std::size_t degree_bound = tables.degree_bound();
+  if (n != tables.n()) {
+    throw std::invalid_argument("average_throughput: memo tables built for a different n");
+  }
+  validate(n, degree_bound);
+  const std::size_t L = schedule.frame_length();
+  const long double log_den = std::log(static_cast<long double>(n)) +
+                              std::log(static_cast<long double>(n - 1)) +
+                              tables.binomials().log(n - 2, degree_bound - 1);
+  long double total = 0.0L;
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::size_t t = schedule.transmit_sizes()[i];
+    const std::size_t r = schedule.receive_sizes()[i];
+    if (t == 0 || r == 0 || n - t < 1) continue;
+    const long double log_term = std::log(static_cast<long double>(t)) +
+                                 std::log(static_cast<long double>(r)) +
+                                 tables.binomials().log(n - t - 1, degree_bound - 1);
     total += std::exp(log_term - log_den);
   }
   return total / static_cast<long double>(L);
@@ -210,6 +253,18 @@ long double optimality_ratio_r(std::size_t n, std::size_t degree_bound, std::siz
                                std::size_t x) {
   validate(n, degree_bound);
   const std::size_t opt = optimal_transmitters_alpha(n, degree_bound, alpha_t);
+  long double r = static_cast<long double>(x) / static_cast<long double>(opt);
+  for (std::size_t i = 1; i < degree_bound; ++i) {
+    r *= static_cast<long double>(n - i - x) / static_cast<long double>(n - i - opt);
+  }
+  return r;
+}
+
+long double optimality_ratio_r(const ThroughputTables& tables, std::size_t alpha_t,
+                               std::size_t x) {
+  const std::size_t n = tables.n();
+  const std::size_t degree_bound = tables.degree_bound();
+  const std::size_t opt = tables.alpha_star(alpha_t);
   long double r = static_cast<long double>(x) / static_cast<long double>(opt);
   for (std::size_t i = 1; i < degree_bound; ++i) {
     r *= static_cast<long double>(n - i - x) / static_cast<long double>(n - i - opt);

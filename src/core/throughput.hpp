@@ -54,12 +54,55 @@ long double g_value(std::size_t n, std::size_t degree_bound, std::size_t x);
 /// x C(n-x, D) as integers). Equals ⌊(n-D)/(D+1)⌋ or ⌈(n-D)/(D+1)⌉.
 std::size_t g_argmax(std::size_t n, std::size_t degree_bound);
 
+/// Shared immutable memo for one (n, D): the binomial terms, the g_{n,D}(x)
+/// curve, and the Theorem 3/4 optimal transmitter counts that the
+/// evaluators and the tradeoff planner otherwise recompute on every call.
+/// Lookups return the exact values the direct evaluations produce (the
+/// table stores the outputs of the same functions), so switching an
+/// evaluator to the memo is bit-identical. Immutable after construction —
+/// safe to share read-only across campaign workers (runner/cache.hpp keys
+/// these by (n, D)).
+class ThroughputTables {
+ public:
+  ThroughputTables(std::size_t n, std::size_t degree_bound);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t degree_bound() const { return d_; }
+  [[nodiscard]] const util::BinomialTable& binomials() const { return binom_; }
+
+  /// g_{n,D}(x) for x in [0, n], memoized.
+  [[nodiscard]] long double g(std::size_t x) const { return g_[x]; }
+  /// Theorem 3 αT* (== optimal_transmitters_general(n, D)).
+  [[nodiscard]] std::size_t alpha_star_general() const { return alpha_star_general_; }
+  /// Theorem 4 α (== optimal_transmitters_alpha(n, D)).
+  [[nodiscard]] std::size_t alpha_cap() const { return alpha_cap_; }
+  /// Theorem 4 αT* = min(αT, α) for a requested cap.
+  [[nodiscard]] std::size_t alpha_star(std::size_t alpha_t) const {
+    return alpha_t < alpha_cap_ ? alpha_t : alpha_cap_;
+  }
+  /// Theorem 3 bound Thr* = g(αT*).
+  [[nodiscard]] long double thm3_bound() const { return g_[alpha_star_general_]; }
+  /// Theorem 4 bound Thr*_{αR,αT}, memoized binomials.
+  [[nodiscard]] long double thm4_bound(std::size_t alpha_t, std::size_t alpha_r) const;
+
+ private:
+  std::size_t n_;
+  std::size_t d_;
+  util::BinomialTable binom_;
+  std::vector<long double> g_;
+  std::size_t alpha_star_general_;
+  std::size_t alpha_cap_;
+};
+
 /// Theorem 2: Thr_ave of `schedule` in N_n^D, exact. n is taken from the
 /// schedule; requires D <= n - 1.
 ExactFraction average_throughput_exact(const Schedule& schedule, std::size_t degree_bound);
 
 /// Theorem 2 in long-double log space (for n beyond 128-bit counting).
 long double average_throughput(const Schedule& schedule, std::size_t degree_bound);
+
+/// Theorem 2 against a shared memo (bit-identical to the direct form).
+long double average_throughput(const Schedule& schedule, const ThroughputTables& tables);
 
 /// Brute-force Definition 2: enumerates every ordered pair (x, y) and every
 /// (D-1)-subset S of V-{x,y}, summing |T(x,y,S)|. The oracle Theorem 2 is
@@ -95,6 +138,10 @@ long double throughput_upper_bound_alpha_loose(std::size_t n, std::size_t degree
 /// §7: r(x) = (x/αT*) Π_{i=1}^{D-1} (n-i-x)/(n-i-αT*), the per-slot
 /// throughput ratio relative to the optimum; αT* from Theorem 4.
 long double optimality_ratio_r(std::size_t n, std::size_t degree_bound, std::size_t alpha_t,
+                               std::size_t x);
+
+/// r(x) against a shared memo (reuses the memoized Theorem 4 αT*).
+long double optimality_ratio_r(const ThroughputTables& tables, std::size_t alpha_t,
                                std::size_t x);
 
 /// Exact Definition 1: minimum worst-case throughput, by enumerating every

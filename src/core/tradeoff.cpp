@@ -17,25 +17,23 @@ std::string TradeoffPoint::to_string() const {
   return os.str();
 }
 
-TradeoffPoint evaluate_tradeoff(const Schedule& non_sleeping, std::size_t degree_bound,
-                                std::size_t alpha_t, std::size_t alpha_r) {
+namespace {
+
+// Shared evaluator body: αT*, the Theorem 4 bound, and the Theorem 8 ratio
+// are resolved by the caller (directly or from the memo tables); everything
+// else is pure arithmetic over <T>'s slot profile.
+TradeoffPoint finish_tradeoff_point(const Schedule& non_sleeping, std::size_t alpha_t,
+                                    std::size_t alpha_r, std::size_t alpha_t_star,
+                                    double throughput_bound, double ratio_bound) {
   const std::size_t n = non_sleeping.num_nodes();
-  if (!non_sleeping.is_non_sleeping()) {
-    throw std::invalid_argument("evaluate_tradeoff: base must be non-sleeping");
-  }
-  if (alpha_t < 1 || alpha_r < 1 || alpha_t + alpha_r > n) {
-    throw std::invalid_argument("evaluate_tradeoff: need αT, αR >= 1, αT + αR <= n");
-  }
   TradeoffPoint p;
   p.alpha_t = alpha_t;
   p.alpha_r = alpha_r;
-  p.alpha_t_star = optimal_transmitters_alpha(n, degree_bound, alpha_t);
+  p.alpha_t_star = alpha_t_star;
   p.frame_length = constructed_frame_length(non_sleeping, p.alpha_t_star, alpha_r);
   p.latency_bound = p.frame_length;
-  p.avg_throughput_bound = static_cast<double>(
-      throughput_upper_bound_alpha(n, degree_bound, alpha_t, alpha_r));
-  p.ratio_lower_bound = static_cast<double>(
-      theorem8_ratio_lower_bound(non_sleeping, degree_bound, alpha_t, alpha_r));
+  p.avg_throughput_bound = throughput_bound;
+  p.ratio_lower_bound = ratio_bound;
 
   // Exact duty cycle of the constructed schedule without building it:
   // every constructed slot wakes |T̄| + αR nodes where |T̄| is
@@ -55,6 +53,42 @@ TradeoffPoint evaluate_tradeoff(const Schedule& non_sleeping, std::size_t degree
   return p;
 }
 
+void validate_tradeoff_args(const Schedule& non_sleeping, std::size_t alpha_t,
+                            std::size_t alpha_r) {
+  if (!non_sleeping.is_non_sleeping()) {
+    throw std::invalid_argument("evaluate_tradeoff: base must be non-sleeping");
+  }
+  if (alpha_t < 1 || alpha_r < 1 || alpha_t + alpha_r > non_sleeping.num_nodes()) {
+    throw std::invalid_argument("evaluate_tradeoff: need αT, αR >= 1, αT + αR <= n");
+  }
+}
+
+}  // namespace
+
+TradeoffPoint evaluate_tradeoff(const Schedule& non_sleeping, std::size_t degree_bound,
+                                std::size_t alpha_t, std::size_t alpha_r) {
+  validate_tradeoff_args(non_sleeping, alpha_t, alpha_r);
+  const std::size_t n = non_sleeping.num_nodes();
+  return finish_tradeoff_point(
+      non_sleeping, alpha_t, alpha_r,
+      optimal_transmitters_alpha(n, degree_bound, alpha_t),
+      static_cast<double>(throughput_upper_bound_alpha(n, degree_bound, alpha_t, alpha_r)),
+      static_cast<double>(
+          theorem8_ratio_lower_bound(non_sleeping, degree_bound, alpha_t, alpha_r)));
+}
+
+TradeoffPoint evaluate_tradeoff(const Schedule& non_sleeping, const ThroughputTables& tables,
+                                std::size_t alpha_t, std::size_t alpha_r) {
+  validate_tradeoff_args(non_sleeping, alpha_t, alpha_r);
+  if (tables.n() != non_sleeping.num_nodes()) {
+    throw std::invalid_argument("evaluate_tradeoff: memo tables built for a different n");
+  }
+  return finish_tradeoff_point(
+      non_sleeping, alpha_t, alpha_r, tables.alpha_star(alpha_t),
+      static_cast<double>(tables.thm4_bound(alpha_t, alpha_r)),
+      static_cast<double>(theorem8_ratio_lower_bound(non_sleeping, tables, alpha_t, alpha_r)));
+}
+
 std::vector<TradeoffPoint> enumerate_tradeoffs(const Schedule& non_sleeping,
                                                std::size_t degree_bound,
                                                std::size_t max_alpha_t,
@@ -62,10 +96,11 @@ std::vector<TradeoffPoint> enumerate_tradeoffs(const Schedule& non_sleeping,
   const std::size_t n = non_sleeping.num_nodes();
   if (max_alpha_t == 0) max_alpha_t = n - 1;
   if (max_alpha_r == 0) max_alpha_r = n - 1;
+  const ThroughputTables tables(n, degree_bound);
   std::vector<TradeoffPoint> points;
   for (std::size_t at = 1; at <= max_alpha_t; ++at) {
     for (std::size_t ar = 1; ar <= max_alpha_r && at + ar <= n; ++ar) {
-      points.push_back(evaluate_tradeoff(non_sleeping, degree_bound, at, ar));
+      points.push_back(evaluate_tradeoff(non_sleeping, tables, at, ar));
     }
   }
   return points;

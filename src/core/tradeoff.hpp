@@ -18,6 +18,8 @@
 
 namespace ttdc::core {
 
+class ThroughputTables;  // core/throughput.hpp
+
 struct TradeoffPoint {
   std::size_t alpha_t = 0;
   std::size_t alpha_r = 0;
@@ -37,8 +39,16 @@ struct TradeoffPoint {
 TradeoffPoint evaluate_tradeoff(const Schedule& non_sleeping, std::size_t degree_bound,
                                 std::size_t alpha_t, std::size_t alpha_r);
 
+/// Same, against a shared (n, D) memo (core/throughput.hpp). Bit-identical
+/// to the direct form; this is what the grid enumeration and campaign
+/// cells use so the Theorem 4/8 binomial terms are computed once per (n, D)
+/// instead of once per grid point.
+TradeoffPoint evaluate_tradeoff(const Schedule& non_sleeping, const ThroughputTables& tables,
+                                std::size_t alpha_t, std::size_t alpha_r);
+
 /// Full grid over 1 <= αT <= max_alpha_t, 1 <= αR <= max_alpha_r with
-/// αT + αR <= n. Zero maxima default to n - 1.
+/// αT + αR <= n. Zero maxima default to n - 1. Builds one ThroughputTables
+/// memo and evaluates the whole grid against it.
 std::vector<TradeoffPoint> enumerate_tradeoffs(const Schedule& non_sleeping,
                                                std::size_t degree_bound,
                                                std::size_t max_alpha_t = 0,

@@ -79,6 +79,31 @@ std::vector<std::size_t> Graph::bfs_parents(std::size_t source) const {
   return parent;
 }
 
+std::uint64_t Graph::content_hash() const {
+  // FNV-1a, 64-bit. Mix in the node count first so graphs of different
+  // sizes with identical (empty) word streams don't collide trivially.
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(num_nodes()));
+  for (const auto& adj : adjacency_) {
+    for (auto word : adj.words()) mix(static_cast<std::uint64_t>(word));
+  }
+  return h;
+}
+
+bool Graph::same_adjacency(const Graph& other) const {
+  if (num_nodes() != other.num_nodes()) return false;
+  for (std::size_t u = 0; u < num_nodes(); ++u) {
+    if (adjacency_[u].words() != other.adjacency_[u].words()) return false;
+  }
+  return true;
+}
+
 std::string Graph::to_string() const {
   std::ostringstream os;
   os << "Graph(n=" << num_nodes() << ", m=" << num_edges_ << ")";

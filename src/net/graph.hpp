@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,17 @@ class Graph {
   /// BFS parent pointers from `source` (parent[source] = source; SIZE_MAX
   /// for unreachable). This is the routing tree used by convergecast.
   [[nodiscard]] std::vector<std::size_t> bfs_parents(std::size_t source) const;
+
+  /// FNV-1a digest over (n, adjacency words in node order). Two graphs with
+  /// equal hashes are identical with overwhelming probability, and — because
+  /// the hash covers the full adjacency in a fixed order — identical graphs
+  /// always collide, so content-keyed caches (runner/cache.hpp) may share
+  /// one BFS routing table across equal-hash graphs after verifying
+  /// equality. Not a cryptographic hash.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+  /// Exact structural equality: same node count and identical adjacency.
+  [[nodiscard]] bool same_adjacency(const Graph& other) const;
 
   [[nodiscard]] std::string to_string() const;
 

@@ -18,6 +18,12 @@ void RoutingTable::build_column(std::size_t dst) const {
   built_[dst] = 1;
 }
 
+void RoutingTable::build_all_columns() {
+  for (std::size_t dst = 0; dst < built_.size(); ++dst) {
+    if (!built_[dst]) build_column(dst);
+  }
+}
+
 std::size_t RoutingTable::cached_destinations() const {
   std::size_t n = 0;
   for (std::uint8_t b : built_) n += b;

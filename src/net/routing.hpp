@@ -36,6 +36,12 @@ class RoutingTable {
     return columns_[dst][from];
   }
 
+  /// Eagerly builds every destination column. After this call next_hop()
+  /// never mutates the table, so a fully built table is safe to share
+  /// read-only across threads (the campaign runner's artifact cache relies
+  /// on this; a lazily built table is NOT thread-safe).
+  void build_all_columns();
+
   /// Number of destination columns currently materialized (observability /
   /// test hook for the cache behavior).
   [[nodiscard]] std::size_t cached_destinations() const;

@@ -1,0 +1,70 @@
+#include "runner/cache.hpp"
+
+namespace ttdc::runner {
+
+std::shared_ptr<const core::Schedule> ArtifactStore::schedule(
+    const std::string& key, const std::function<core::Schedule()>& build) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schedules_.find(key);
+  if (it != schedules_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto built = std::make_shared<const core::Schedule>(build());
+  schedules_.emplace(key, built);
+  return built;
+}
+
+std::shared_ptr<const net::RoutingTable> ArtifactStore::routing(const net::Graph& graph) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& chain = routings_[graph.content_hash()];
+  for (const auto& entry : chain) {
+    if (entry->graph.same_adjacency(graph)) {
+      ++hits_;
+      return {entry, &entry->table};
+    }
+  }
+  ++misses_;
+  auto entry = std::make_shared<RoutingEntry>(graph);
+  chain.push_back(entry);
+  return {entry, &entry->table};
+}
+
+std::shared_ptr<const util::BinomialTable> ArtifactStore::binomials(std::size_t max_n,
+                                                                    std::size_t max_k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = binomials_[{max_n, max_k}];
+  if (slot) {
+    ++hits_;
+    return slot;
+  }
+  ++misses_;
+  slot = std::make_shared<const util::BinomialTable>(max_n, max_k);
+  return slot;
+}
+
+std::shared_ptr<const core::ThroughputTables> ArtifactStore::throughput(
+    std::size_t n, std::size_t degree_bound) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = throughputs_[{n, degree_bound}];
+  if (slot) {
+    ++hits_;
+    return slot;
+  }
+  ++misses_;
+  slot = std::make_shared<const core::ThroughputTables>(n, degree_bound);
+  return slot;
+}
+
+std::uint64_t ArtifactStore::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ArtifactStore::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace ttdc::runner

@@ -1,0 +1,122 @@
+#include "runner/runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "obs/report.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ttdc::runner {
+
+Campaign::Campaign(CampaignOptions options)
+    : options_(std::move(options)), artifacts_(std::make_unique<ArtifactStore>()) {}
+
+void Campaign::add(std::string name, CellFn fn) {
+  cells_.push_back(Cell{std::move(name), std::move(fn)});
+  // seed_i is the i-th SplitMix64 output of the master seed — a function of
+  // (master_seed, i) only, so appending cells never perturbs earlier seeds.
+  util::SplitMix64 sm(options_.master_seed);
+  seeds_.resize(cells_.size());
+  for (auto& s : seeds_) s = sm.next();
+}
+
+int Campaign::resolved_workers() const {
+  if (options_.num_workers > 0) return options_.num_workers;
+  if (const char* env = std::getenv("TTDC_NUM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return util::hardware_parallelism();
+}
+
+void Campaign::run_cell(std::size_t index, CellContext& ctx) {
+  ctx.index_ = index;
+  ctx.name_ = cells_[index].name;
+  ctx.seed_ = seeds_[index];
+  ctx.artifacts_ = artifacts_.get();
+  ctx.metrics_ = options_.metrics;
+  cells_[index].fn(ctx);
+}
+
+CampaignResult Campaign::merge(std::vector<CellContext>& contexts, double elapsed,
+                               int workers) {
+  CampaignResult result;
+  result.elapsed_seconds = elapsed;
+  result.workers = workers;
+  result.cells.reserve(contexts.size());
+  for (auto& ctx : contexts) {
+    // Fixed fold order (cell index) regardless of completion order: this is
+    // what makes the double-summed aggregates bit-identical across worker
+    // counts.
+    result.aggregate.merge(ctx.stats_);
+    if (options_.trace) {
+      for (const auto& e : ctx.trace_) options_.trace(e);
+    }
+    result.cells.push_back(
+        CellResult{std::move(ctx.name_), std::move(ctx.stats_), std::move(ctx.metrics_out_)});
+  }
+  return result;
+}
+
+CampaignResult Campaign::run() {
+  const int workers = resolved_workers();
+  util::Timer timer;
+  std::vector<CellContext> contexts(cells_.size());
+  std::atomic<std::size_t> next{0};
+  util::parallel_workers(workers, [&](std::size_t) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= contexts.size()) break;
+      run_cell(i, contexts[i]);
+    }
+  });
+  return merge(contexts, timer.seconds(), workers);
+}
+
+CampaignResult Campaign::run_serial() {
+  util::Timer timer;
+  std::vector<CellContext> contexts(cells_.size());
+  for (std::size_t i = 0; i < contexts.size(); ++i) run_cell(i, contexts[i]);
+  return merge(contexts, timer.seconds(), 1);
+}
+
+std::string CampaignResult::aggregate_json() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"name\":" << obs::json_string(cells[i].name) << ",\"metrics\":{";
+    for (std::size_t m = 0; m < cells[i].metrics.size(); ++m) {
+      if (m != 0) os << ',';
+      os << obs::json_string(cells[i].metrics[m].first) << ':'
+         << obs::json_scalar(cells[i].metrics[m].second);
+    }
+    os << "}}";
+  }
+  const sim::SimStats& a = aggregate;
+  os << "],\"aggregate\":{"
+     << "\"slots_run\":" << a.slots_run << ",\"generated\":" << a.generated
+     << ",\"delivered\":" << a.delivered << ",\"hop_successes\":" << a.hop_successes
+     << ",\"transmissions\":" << a.transmissions << ",\"collisions\":" << a.collisions
+     << ",\"receiver_asleep\":" << a.receiver_asleep
+     << ",\"channel_losses\":" << a.channel_losses << ",\"sync_losses\":" << a.sync_losses
+     << ",\"queue_drops\":" << a.queue_drops << ",\"deaths\":" << a.deaths
+     << ",\"first_death_slot\":";
+  if (a.first_death_slot == ~std::uint64_t{0}) {
+    os << "null";
+  } else {
+    os << a.first_death_slot;
+  }
+  os << ",\"latency\":{\"count\":" << a.latency.count()
+     << ",\"mean\":" << obs::json_scalar(a.latency.mean())
+     << ",\"p50\":" << a.latency.percentile(50) << ",\"p95\":" << a.latency.percentile(95)
+     << ",\"max\":" << a.latency.max() << "}}}";
+  return os.str();
+}
+
+}  // namespace ttdc::runner

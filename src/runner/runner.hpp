@@ -1,0 +1,180 @@
+// ttdc::runner — parallel simulation campaigns with deterministic results.
+//
+// A Campaign is a declarative list of cells (one simulation or evaluation
+// each: a (schedule, seed) replicate, a battery run, one grid point of a
+// parameter sweep). run() executes the cells on a team of workers pulling
+// from a shared atomic queue (util::parallel_workers), run_serial() on a
+// plain loop; both produce THE SAME aggregate, bit for bit, because:
+//
+//   * seeds are derived, not drawn: cell i's RNG seed is the i-th output of
+//     SplitMix64(master_seed), fixed by the cell's position in the list and
+//     independent of which worker runs it or in what order;
+//   * cells write into pre-sized result slots, and the aggregate is merged
+//     at the join barrier in cell-index order (SimStats::merge /
+//     LatencyStats::merge are exact under a fixed fold order);
+//   * shared artifacts (runner/cache.hpp) are pure functions of their keys,
+//     so a cache hit equals a private rebuild;
+//   * per-cell trace events buffer locally and replay into the campaign
+//     sink at the barrier, again in cell-index order — a campaign-level
+//     JSONL sink sees one deterministic stream, never an interleaving
+//     (and never a data race on a non-thread-safe sink).
+//
+// The determinism contract is what makes the parallelism trustworthy: a
+// campaign's numbers can be compared across machines and worker counts, and
+// bench_campaign's --perf-check gate enforces exactly that equality.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runner/cache.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace ttdc::runner {
+
+class Campaign;
+
+/// Per-cell execution context, handed to the cell body. Everything a cell
+/// reads from it is either immutable for the campaign's duration
+/// (index/name/seed, the artifact store) or private to the cell (the stats
+/// and trace accumulators), so cell bodies need no synchronization of
+/// their own.
+class CellContext {
+ public:
+  /// Position of this cell in the campaign's list (also its result slot).
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// This cell's independent seed: the index()-th SplitMix64 output of the
+  /// campaign master seed. Feed it to SimConfig::seed / topology
+  /// generators; never mix the master seed in directly.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Campaign-wide artifact cache (thread-safe; see cache.hpp).
+  [[nodiscard]] ArtifactStore& artifacts() const { return *artifacts_; }
+
+  /// Campaign-level metrics registry, or nullptr when the campaign has
+  /// none. Handles are atomic, so wiring it into SimConfig::metrics from
+  /// many cells at once is safe, and the end-of-campaign snapshot is a sum
+  /// over cells — order-independent by construction.
+  [[nodiscard]] obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Folds a finished simulation's stats into this cell's contribution to
+  /// the campaign aggregate (callable multiple times per cell).
+  void record(const sim::SimStats& stats) { stats_.merge(stats); }
+
+  /// Publishes a named scalar result (a grid point's duty cycle, a
+  /// delivery ratio...). Kept in insertion order; surfaces in
+  /// CampaignResult per cell and in the aggregate JSON.
+  void metric(std::string key, double value) {
+    metrics_out_.emplace_back(std::move(key), value);
+  }
+
+  /// Trace hook for SimConfig::trace. Events buffer inside the cell and
+  /// replay into the campaign sink at the join barrier in cell-index
+  /// order; cells must use this (or no trace at all) rather than wiring a
+  /// shared sink into SimConfig directly, which would interleave workers.
+  [[nodiscard]] std::function<void(const sim::TraceEvent&)> trace_fn() {
+    return [this](const sim::TraceEvent& e) { trace_.push_back(e); };
+  }
+
+ private:
+  friend class Campaign;
+  std::size_t index_ = 0;
+  std::string name_;
+  std::uint64_t seed_ = 0;
+  ArtifactStore* artifacts_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  sim::SimStats stats_;
+  std::vector<std::pair<std::string, double>> metrics_out_;
+  std::vector<sim::TraceEvent> trace_;
+};
+
+using CellFn = std::function<void(CellContext&)>;
+
+/// One cell's outcome, in campaign order.
+struct CellResult {
+  std::string name;
+  sim::SimStats stats;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct CampaignResult {
+  /// All cells' SimStats merged in cell-index order.
+  sim::SimStats aggregate;
+  std::vector<CellResult> cells;
+  double elapsed_seconds = 0.0;
+  /// Workers requested for the run (1 for run_serial()).
+  int workers = 1;
+
+  /// Canonical JSON of everything deterministic: per-cell scalar metrics
+  /// (in cell order) and the aggregate counters + latency summary. Doubles
+  /// print at max_digits10, so string equality == bit equality. Timing is
+  /// deliberately excluded; two runs of the same campaign at any worker
+  /// counts must produce identical strings (tested, and enforced by
+  /// bench_campaign --perf-check).
+  [[nodiscard]] std::string aggregate_json() const;
+};
+
+struct CampaignOptions {
+  /// Master seed; cell i derives its own via SplitMix64 (see
+  /// CellContext::seed).
+  std::uint64_t master_seed = 0x5eed;
+  /// Worker team size for run(). 0 = $TTDC_NUM_THREADS when set, else the
+  /// OpenMP default (util::hardware_parallelism).
+  int num_workers = 0;
+  /// Optional campaign-level metrics registry (see CellContext::metrics).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional campaign-level trace sink; receives every cell's buffered
+  /// events at the barrier, grouped by cell in index order. Needs no
+  /// thread safety: it is only ever called from the merging thread.
+  std::function<void(const sim::TraceEvent&)> trace;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions options = {});
+
+  /// Appends a cell; the position in the list fixes its seed.
+  void add(std::string name, CellFn fn);
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] ArtifactStore& artifacts() { return *artifacts_; }
+
+  /// Executes all cells on a worker team pulling cell indices from a
+  /// shared atomic counter; merges at the barrier.
+  [[nodiscard]] CampaignResult run();
+
+  /// Reference executor: same cells, same seeds, one plain loop. The
+  /// comparator for the speedup and equality gates.
+  [[nodiscard]] CampaignResult run_serial();
+
+  /// The worker count run() will use (options resolved against the
+  /// environment).
+  [[nodiscard]] int resolved_workers() const;
+
+ private:
+  struct Cell {
+    std::string name;
+    CellFn fn;
+  };
+
+  void run_cell(std::size_t index, CellContext& ctx);
+  CampaignResult merge(std::vector<CellContext>& contexts, double elapsed, int workers);
+
+  CampaignOptions options_;
+  std::vector<Cell> cells_;
+  std::vector<std::uint64_t> seeds_;
+  // Heap-pinned (ArtifactStore owns a mutex and is immovable) so Campaign
+  // itself stays movable and cells' cached &artifacts() stay valid.
+  std::unique_ptr<ArtifactStore> artifacts_;
+};
+
+}  // namespace ttdc::runner

@@ -31,6 +31,12 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
   battery_.assign(n, config_.battery_mj);
   dead_ = util::DynamicBitset(n);
   death_slot_.assign(n, kNeverDied);
+  routing_view_ = config_.shared_routing != nullptr ? config_.shared_routing : &routing_;
+  if (config_.shared_routing != nullptr) {
+    TTDC_ASSERT(config_.shared_routing->cached_destinations() == n,
+                "shared_routing must be fully built (build_all_columns) over a graph "
+                "with the simulator's node count");
+  }
   tx_nodes_.reserve(n);
   tx_targets_.reserve(n);
   e_transmit_ = config_.energy.energy_mj(RadioState::kTransmit, 1);
@@ -62,6 +68,9 @@ void Simulator::set_graph(net::Graph graph) {
               graph_.num_nodes());
   graph_ = std::move(graph);
   routing_.set_graph(graph_);
+  // A shared table describes the old topology; fall back to the internal
+  // (lazily rebuilt) one from here on.
+  routing_view_ = &routing_;
   // Head routability is a function of the routes; recheck every backlogged
   // head against the new topology.
   backlogged_.for_each([&](std::size_t v) { refresh_head_routability(v); });
@@ -84,7 +93,7 @@ void Simulator::audit_invariants() const {
       TTDC_DCHECK(!unroutable_head_.test(v),
                   "unroutable_head_ set for node ", v, " with an empty queue");
     } else {
-      const std::size_t hop = routing_.next_hop(v, queues_[v].front().destination);
+      const std::size_t hop = routing_view_->next_hop(v, queues_[v].front().destination);
       TTDC_DCHECK(unroutable_head_.test(v) == (hop == kNoHop),
                   "unroutable_head_ bit for node ", v,
                   " disagrees with routing (next hop ", hop, ")");
@@ -140,7 +149,7 @@ void Simulator::audit_invariants() const {
       // Transmit decisions: replay the batched phase-1 predicate against
       // the scalar answer for every backlogged node with a routable head.
       if (!dead_.test(v) && !queues_[v].empty()) {
-        const std::size_t hop = routing_.next_hop(v, queues_[v].front().destination);
+        const std::size_t hop = routing_view_->next_hop(v, queues_[v].front().destination);
         if (hop != kNoHop) {
           const bool batched_tx = elig.test(v) && (!gates || recv.test(hop));
           TTDC_DCHECK(mac_.wants_transmit(v, hop) == batched_tx,
@@ -215,7 +224,7 @@ void Simulator::collect_transmissions_scalar() {
     if (dead_.test(v)) continue;
     auto& q = queues_[v];
     while (!q.empty()) {
-      const std::size_t hop = routing_.next_hop(v, q.front().destination);
+      const std::size_t hop = routing_view_->next_hop(v, q.front().destination);
       if (hop == kNoHop) {
         if (config_.drop_unroutable) {
           ++stats_.queue_drops;
@@ -262,7 +271,7 @@ void Simulator::collect_transmissions_batched(bool mac_batched) {
   scratch_.for_each([&](std::size_t v) {
     auto& q = queues_[v];
     while (!q.empty()) {
-      const std::size_t hop = routing_.next_hop(v, q.front().destination);
+      const std::size_t hop = routing_view_->next_hop(v, q.front().destination);
       if (hop == kNoHop) {
         if (config_.drop_unroutable) {
           ++stats_.queue_drops;

@@ -89,6 +89,15 @@ struct SimConfig {
   /// model duty cycling exists to optimize.
   double battery_mj = 0.0;
   EnergyModel energy;
+  /// Optional shared read-only routing table. When set, next-hop queries go
+  /// to this table instead of the simulator's internal one, so campaign
+  /// cells replaying the same topology (runner/cache.hpp) share one set of
+  /// BFS columns instead of each rebuilding them. The table must have been
+  /// built over a graph identical to the simulator's and fully materialized
+  /// via build_all_columns() (a lazily built table would mutate under
+  /// concurrent readers). set_graph() reverts to the internal table, since
+  /// the shared one no longer describes the topology.
+  const net::RoutingTable* shared_routing = nullptr;
 };
 
 class Simulator {
@@ -190,7 +199,7 @@ class Simulator {
     }
   }
   void refresh_head_routability(std::size_t node) {
-    const std::size_t hop = routing_.next_hop(node, queues_[node].front().destination);
+    const std::size_t hop = routing_view_->next_hop(node, queues_[node].front().destination);
     if (hop == static_cast<std::size_t>(-1)) {
       unroutable_head_.set(node);
     } else {
@@ -227,6 +236,9 @@ class Simulator {
   SimConfig config_;
   util::Xoshiro256 rng_;
   RoutingTable routing_;
+  // Either &routing_ or config_.shared_routing; all next-hop queries go
+  // through this so the two cases share one code path.
+  const RoutingTable* routing_view_ = nullptr;
   std::vector<PacketQueue> queues_;
   SimStats stats_;
   HotMetrics hot_;

@@ -57,6 +57,39 @@ double SimStats::energy_per_delivery_mj(const EnergyModel& model) const {
   return total_energy_mj(model) / static_cast<double>(delivered);
 }
 
+namespace {
+
+void add_padded(std::vector<std::uint64_t>& into, const std::vector<std::uint64_t>& from) {
+  if (from.size() > into.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+}  // namespace
+
+void SimStats::merge(const SimStats& other) {
+  slots_run += other.slots_run;
+  generated += other.generated;
+  delivered += other.delivered;
+  hop_successes += other.hop_successes;
+  transmissions += other.transmissions;
+  collisions += other.collisions;
+  receiver_asleep += other.receiver_asleep;
+  channel_losses += other.channel_losses;
+  sync_losses += other.sync_losses;
+  queue_drops += other.queue_drops;
+  latency.merge(other.latency);
+  if (other.state_slots.size() > state_slots.size()) {
+    state_slots.resize(other.state_slots.size(), {0, 0, 0, 0});
+  }
+  for (std::size_t v = 0; v < other.state_slots.size(); ++v) {
+    for (std::size_t s = 0; s < 4; ++s) state_slots[v][s] += other.state_slots[v][s];
+  }
+  add_padded(delivered_by_origin, other.delivered_by_origin);
+  add_padded(wake_transitions, other.wake_transitions);
+  first_death_slot = std::min(first_death_slot, other.first_death_slot);
+  deaths += other.deaths;
+}
+
 std::string SimStats::summary(const EnergyModel& model) const {
   std::ostringstream os;
   os << "slots=" << slots_run << " generated=" << generated << " delivered=" << delivered

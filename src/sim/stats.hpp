@@ -32,6 +32,17 @@ class LatencyStats {
   /// Percentile in [0, 100]; 0 if no samples. Nearest-rank definition.
   [[nodiscard]] std::uint64_t percentile(double pct) const;
 
+  /// Absorbs `other`'s samples (sample concatenation, not moment folding):
+  /// count/max/percentile of the merge equal those of the single stream
+  /// that recorded both shards in any order, exactly — nth_element selects
+  /// from the value multiset, which concatenation preserves. mean() is a
+  /// left-to-right double sum, so merging shards in a fixed order (the
+  /// campaign runner merges in cell-index order) reproduces the serial sum
+  /// bit for bit.
+  void merge(const LatencyStats& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  }
+
  private:
   // mutable: percentile() reorders (never resizes) the samples in place.
   mutable std::vector<std::uint64_t> samples_;
@@ -80,6 +91,16 @@ struct SimStats {
   [[nodiscard]] double total_energy_mj(const EnergyModel& model) const;
   /// Energy per delivered packet (mJ); infinity when nothing was delivered.
   [[nodiscard]] double energy_per_delivery_mj(const EnergyModel& model) const;
+
+  /// Folds `other` into this: scalar counters add, latency shards
+  /// concatenate (see LatencyStats::merge), per-node vectors add
+  /// element-wise (shorter vectors are zero-extended, so stats from
+  /// different network sizes still aggregate), first_death_slot takes the
+  /// min and deaths add. merge is associative, and for a fixed merge order
+  /// the result is bit-identical regardless of which thread produced each
+  /// shard — the property the campaign runner's lock-free accumulation
+  /// depends on.
+  void merge(const SimStats& other);
 
   [[nodiscard]] std::string summary(const EnergyModel& model) const;
 };

@@ -61,6 +61,43 @@ u128 falling_factorial_exact(std::uint64_t n, std::uint64_t k) {
   return result;
 }
 
+BinomialTable::BinomialTable(std::size_t max_n, std::size_t max_k)
+    : max_n_(max_n), max_k_(max_k) {
+  const std::size_t cells = (max_n + 1) * (max_k + 1);
+  ld_.resize(cells);
+  log_.resize(cells);
+  exact_.resize(cells, 0);
+  overflowed_.resize(cells, 0);
+  for (std::size_t n = 0; n <= max_n; ++n) {
+    for (std::size_t k = 0; k <= max_k; ++k) {
+      const std::size_t i = index(n, k);
+      ld_[i] = binomial_ld(n, k);
+      log_[i] = log_binomial(n, k);
+      try {
+        exact_[i] = binomial_exact(n, k);
+      } catch (const CountingOverflow&) {
+        overflowed_[i] = 1;
+      }
+    }
+  }
+}
+
+std::size_t BinomialTable::index(std::size_t n, std::size_t k) const {
+  if (n > max_n_ || k > max_k_) {
+    throw std::out_of_range("BinomialTable: C(" + std::to_string(n) + ", " +
+                            std::to_string(k) + ") outside memoized range (max_n=" +
+                            std::to_string(max_n_) + ", max_k=" + std::to_string(max_k_) +
+                            ")");
+  }
+  return n * (max_k_ + 1) + k;
+}
+
+u128 BinomialTable::exact(std::size_t n, std::size_t k) const {
+  const std::size_t i = index(n, k);
+  if (overflowed_[i]) throw CountingOverflow();
+  return exact_[i];
+}
+
 std::string u128_to_string(u128 v) {
   if (v == 0) return "0";
   std::string out;

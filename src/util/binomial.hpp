@@ -5,9 +5,11 @@
 // overflow-checked); large-n sweeps evaluate them in long-double log space.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace ttdc::util {
 
@@ -49,5 +51,46 @@ u128 falling_factorial_exact(std::uint64_t n, std::uint64_t k);
 
 /// Renders a u128 in decimal (no standard operator<< exists for it).
 std::string u128_to_string(u128 v);
+
+/// Dense memo of C(n, k) for n <= max_n, k <= max_k, in both precisions.
+///
+/// The throughput theorems evaluate the same small set of binomials once
+/// per slot, per grid cell, per sweep point; a sweep campaign evaluates
+/// them millions of times. This table is built once (values produced by
+/// the exact same binomial_ld / log_binomial / binomial_exact calls, so
+/// lookups are bit-identical to the direct evaluation they replace) and is
+/// immutable afterwards — safe to share read-only across campaign workers.
+/// Exact u128 entries whose value would overflow 128 bits are stored as a
+/// poison flag and re-throw CountingOverflow on access, matching the
+/// uncached behavior.
+class BinomialTable {
+ public:
+  BinomialTable(std::size_t max_n, std::size_t max_k);
+
+  [[nodiscard]] std::size_t max_n() const { return max_n_; }
+  [[nodiscard]] std::size_t max_k() const { return max_k_; }
+
+  /// binomial_ld(n, k); n, k must be within the table bounds.
+  [[nodiscard]] long double ld(std::size_t n, std::size_t k) const {
+    return ld_[index(n, k)];
+  }
+  /// log_binomial(n, k).
+  [[nodiscard]] long double log(std::size_t n, std::size_t k) const {
+    return log_[index(n, k)];
+  }
+  /// binomial_exact(n, k); throws CountingOverflow exactly when the
+  /// uncached call would.
+  [[nodiscard]] u128 exact(std::size_t n, std::size_t k) const;
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t n, std::size_t k) const;
+
+  std::size_t max_n_;
+  std::size_t max_k_;
+  std::vector<long double> ld_;
+  std::vector<long double> log_;
+  std::vector<u128> exact_;
+  std::vector<std::uint8_t> overflowed_;
+};
 
 }  // namespace ttdc::util

@@ -1,10 +1,14 @@
 // OpenMP-backed helpers for embarrassingly parallel sweeps.
 //
 // Used by the exact Requirement checkers (parallel over node x), Monte-Carlo
-// replicates, and bench grids. Kept deliberately small: a parallel index
-// loop and a parallel reduction; stateful simulation never runs under these.
-// The helpers are not reentrant: nested or concurrent calls from multiple
-// threads are not supported.
+// replicates, bench grids, and the campaign runner's worker pool
+// (runner/runner.hpp). Kept deliberately small: a parallel index loop, a
+// parallel reduction, and a worker-team launcher. Nested calls are safe but
+// degrade to serial execution: a helper invoked from inside an OpenMP
+// parallel region (e.g. a Requirement checker running inside a campaign
+// cell) runs its loop inline on the calling thread, which matches OpenMP's
+// default nested-parallelism behavior and keeps the TSan handoff globals
+// below single-writer.
 #pragma once
 
 #include <atomic>
@@ -37,6 +41,18 @@ inline int hardware_parallelism() {
   return omp_get_max_threads();
 #else
   return 1;
+#endif
+}
+
+/// True when the caller is already executing inside an OpenMP parallel
+/// region. The helpers below use this to degrade nested invocations to
+/// serial loops instead of racing on the TSan handoff state (and instead of
+/// relying on OpenMP's nested-region semantics).
+inline bool in_parallel_region() {
+#ifdef _OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
 #endif
 }
 
@@ -98,13 +114,36 @@ void tsan_parallel_for(std::size_t begin, std::size_t end, const Fn& fn) {
   g_fork.store(0, std::memory_order_relaxed);
 }
 
+// Worker-team variant of the same fork/join annotation: one invoke per team
+// member with the member's thread id, no loop. Used by parallel_workers.
+template <typename Fn>
+void tsan_parallel_workers(int count, const Fn& fn) {
+  g_handoff = RegionHandoff{0, 0, &fn, &invoke_thunk<Fn>};
+  g_fork.store(1, std::memory_order_release);
+#pragma omp parallel num_threads(count)
+  {
+    (void)g_fork.load(std::memory_order_acquire);  // fork edge
+    const RegionHandoff h = g_handoff;
+    h.invoke(h.ctx, static_cast<std::size_t>(omp_get_thread_num()));
+    g_join.fetch_add(1, std::memory_order_release);
+  }
+  (void)g_join.load(std::memory_order_acquire);  // join edge
+  g_join.store(0, std::memory_order_relaxed);
+  g_fork.store(0, std::memory_order_relaxed);
+}
+
 }  // namespace detail
 #endif  // _OPENMP && TTDC_TSAN_BUILD
 
 /// fn(i) for i in [begin, end), dynamically scheduled across threads.
-/// fn must be safe to call concurrently for distinct i.
+/// fn must be safe to call concurrently for distinct i. Safe to call from
+/// inside another parallel region (runs serially there).
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+  if (in_parallel_region()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
 #if defined(_OPENMP) && TTDC_TSAN_BUILD
   detail::tsan_parallel_for(begin, end, fn);
 #elif defined(_OPENMP)
@@ -124,6 +163,11 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
 template <typename Fn>
 auto parallel_sum(std::size_t begin, std::size_t end, Fn&& fn) -> decltype(fn(begin)) {
   using Acc = decltype(fn(begin));
+  if (in_parallel_region()) {
+    Acc total{};
+    for (std::size_t i = begin; i < end; ++i) total += fn(i);
+    return total;
+  }
 #if defined(_OPENMP) && TTDC_TSAN_BUILD
   // Per-thread slots instead of `omp critical`: gomp_critical locks via
   // futex, invisible to TSan, so the combine would be a false race.
@@ -161,6 +205,12 @@ auto parallel_sum(std::size_t begin, std::size_t end, Fn&& fn) -> decltype(fn(be
 /// already started run to completion).
 template <typename Pred>
 bool parallel_any(std::size_t begin, std::size_t end, Pred&& pred) {
+  if (in_parallel_region()) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (pred(i)) return true;
+    }
+    return false;
+  }
 #ifdef _OPENMP
   // Relaxed ordering suffices: the flag is monotone (false -> true) and only
   // gates whether remaining iterations bother calling pred.
@@ -187,6 +237,33 @@ bool parallel_any(std::size_t begin, std::size_t end, Pred&& pred) {
     if (pred(i)) return true;
   }
   return false;
+#endif
+}
+
+/// Launches a team of up to `count` workers and calls fn(worker_id) once
+/// per team member, with distinct ids in [0, team size). Unlike
+/// parallel_for, the team size is requested explicitly via num_threads, so
+/// a caller can run MORE workers than omp_get_max_threads() (the campaign
+/// runner honors TTDC_NUM_THREADS this way) — the runtime may still grant
+/// fewer, so fn must not assume every id in [0, count) runs: pull work from
+/// a shared atomic queue instead of partitioning by id. Called from inside
+/// a parallel region, degrades to a single inline fn(0).
+template <typename Fn>
+void parallel_workers(int count, Fn&& fn) {
+  if (count < 1) count = 1;
+  if (count == 1 || in_parallel_region()) {
+    fn(std::size_t{0});
+    return;
+  }
+#if defined(_OPENMP) && TTDC_TSAN_BUILD
+  detail::tsan_parallel_workers(count, fn);
+#elif defined(_OPENMP)
+#pragma omp parallel num_threads(count)
+  {
+    fn(static_cast<std::size_t>(omp_get_thread_num()));
+  }
+#else
+  fn(std::size_t{0});
 #endif
 }
 
