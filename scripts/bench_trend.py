@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare the latest bench reports against the committed baselines.
+
+Reads BENCH_<name>.json reports (newest run: the repo root, or the most
+recently modified bench/history/<sha>/ archive written by
+scripts/run_benches.sh) and prints a per-bench trend table against
+bench/baselines/BENCH_<name>.baseline.json. A metric is flagged only when
+it leaves the noise band (default +/-10%); *_speedup and *_slots_per_sec
+metrics are treated as higher-is-better, *_seconds and *_overhead* as
+lower-is-better, everything else is reported informationally.
+
+Exit status is always 0 unless --strict is given (CI runs it non-fatally:
+the hard perf gates live in run_benches.sh --perf-check; this script is
+for humans watching drift).
+
+Usage: scripts/bench_trend.py [--band 0.10] [--history] [--strict]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_metrics(path):
+    with open(path) as f:
+        return json.load(f).get("metrics", {})
+
+
+def latest_report_dir(use_history):
+    if use_history:
+        runs = sorted(
+            glob.glob(os.path.join(REPO_ROOT, "bench", "history", "*")),
+            key=os.path.getmtime,
+        )
+        if runs:
+            return runs[-1]
+    return REPO_ROOT
+
+
+def classify(key):
+    """Returns (direction, gated): +1 higher-is-better, -1 lower, 0 info."""
+    if key.endswith("_speedup") or key.endswith("_slots_per_sec"):
+        return 1, True
+    if key.endswith("_seconds") or "_overhead" in key:
+        return -1, True
+    return 0, False
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--band", type=float, default=0.10,
+                    help="relative noise band before a change is flagged")
+    ap.add_argument("--history", action="store_true",
+                    help="read the newest bench/history/<sha>/ archive "
+                         "instead of the repo root")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when any gated metric degrades out of band")
+    args = ap.parse_args()
+
+    report_dir = latest_report_dir(args.history)
+    baseline_dir = os.path.join(REPO_ROOT, "bench", "baselines")
+    baselines = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.baseline.json")))
+    if not baselines:
+        print("no baselines under bench/baselines/; nothing to compare")
+        return 0
+
+    print(f"reports:   {report_dir}")
+    print(f"baselines: {baseline_dir}")
+    print(f"noise band: +/-{args.band:.0%}\n")
+
+    regressions = []
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        name = name[len("BENCH_"):-len(".baseline.json")]
+        report_path = os.path.join(report_dir, f"BENCH_{name}.json")
+        print(f"== {name} ==")
+        if not os.path.exists(report_path):
+            print("  (no current report; run scripts/run_benches.sh)\n")
+            continue
+        base = load_metrics(baseline_path)
+        cur = load_metrics(report_path)
+        for key in sorted(base):
+            b, c = base[key], cur.get(key)
+            if c is None:
+                print(f"  {key:40s} baseline {b:>12.4g}  current      MISSING")
+                continue
+            direction, gated = classify(key)
+            if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+                print(f"  {key:40s} baseline {b!r:>12}  current {c!r:>12}")
+                continue
+            # Near-zero baselines (overhead fractions jittering around 0)
+            # make relative deltas explode; compare those absolutely.
+            delta = (c - b) / abs(b) if abs(b) > 0.05 else (c - b)
+            verdict = ""
+            if gated and abs(delta) > args.band:
+                worse = (direction > 0 and delta < 0) or (direction < 0 and delta > 0)
+                verdict = "REGRESSED" if worse else "improved"
+                if worse:
+                    regressions.append(f"{name}:{key} {delta:+.1%}")
+            print(f"  {key:40s} baseline {b:>12.4g}  current {c:>12.4g}  {delta:+7.1%} {verdict}")
+        print()
+
+    if regressions:
+        print("out-of-band regressions (informational unless --strict):")
+        for r in regressions:
+            print(f"  {r}")
+        if args.strict:
+            return 1
+    else:
+        print("no gated metric left the noise band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

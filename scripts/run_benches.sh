@@ -171,4 +171,17 @@ fi
 echo
 echo "ran ${#bins[@]} benches; reports in $bench_dir:"
 ls -1 "$bench_dir"/BENCH_*.json 2>/dev/null || true
+
+# Archive this run's reports under bench/history/<git-sha>/ so
+# scripts/bench_trend.py can chart metric drift across commits. A dirty
+# tree gets a "-dirty" suffix (the numbers don't belong to the clean sha).
+if sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null)"; then
+  if ! git -C "$repo_root" diff --quiet 2>/dev/null; then
+    sha="${sha}-dirty"
+  fi
+  history_dir="$repo_root/bench/history/$sha"
+  mkdir -p "$history_dir"
+  cp "$bench_dir"/BENCH_*.json "$history_dir/" 2>/dev/null || true
+  echo "archived reports to bench/history/$sha/"
+fi
 exit "$status"

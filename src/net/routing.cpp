@@ -1,5 +1,7 @@
 #include "net/routing.hpp"
 
+#include "obs/profile.hpp"
+
 namespace ttdc::net {
 
 RoutingTable::RoutingTable(const Graph& graph)
@@ -12,6 +14,7 @@ void RoutingTable::set_graph(const Graph& graph) {
 }
 
 void RoutingTable::build_column(std::size_t dst) const {
+  TTDC_PROF_SCOPE("net.routing.build_column");
   auto parents = graph_->bfs_parents(dst);
   parents[dst] = dst;
   columns_[dst] = std::move(parents);
@@ -19,6 +22,7 @@ void RoutingTable::build_column(std::size_t dst) const {
 }
 
 void RoutingTable::build_all_columns() {
+  TTDC_PROF_SCOPE("net.routing.build_all_columns");
   for (std::size_t dst = 0; dst < built_.size(); ++dst) {
     if (!built_[dst]) build_column(dst);
   }

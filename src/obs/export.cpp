@@ -14,7 +14,7 @@ std::string sanitize(const std::string& name) {
   for (char& c : out) {
     if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')) c = '_';
   }
-  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out.front()))) {
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front()))) {
     out.insert(out.begin(), '_');
   }
   return out;
@@ -32,12 +32,47 @@ void write_double(std::ostream& os, double v) {
 
 }  // namespace
 
+bool prometheus_valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name) {
+    if (!(head(c) || std::isdigit(static_cast<unsigned char>(c)) != 0)) return false;
+  }
+  return true;
+}
+
+bool prometheus_valid_label_name(const std::string& name) {
+  // Same as a metric name minus the colon (colons are reserved for
+  // recording rules).
+  return prometheus_valid_metric_name(name) && name.find(':') == std::string::npos;
+}
+
+std::string prometheus_escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string prometheus_text(const std::vector<MetricSnapshot>& snapshot) {
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
   for (const MetricSnapshot& m : snapshot) {
     const std::string name = sanitize(m.name);
-    if (!m.help.empty()) os << "# HELP " << name << ' ' << m.help << '\n';
+    if (!m.help.empty()) {
+      os << "# HELP " << name << ' ' << prometheus_escape_help(m.help) << '\n';
+    }
     switch (m.type) {
       case MetricSnapshot::Type::kCounter:
         os << "# TYPE " << name << " counter\n";

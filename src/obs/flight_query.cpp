@@ -1,0 +1,324 @@
+#include "obs/flight_query.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace ttdc::obs {
+
+namespace {
+
+constexpr std::array<FlightEvent::Kind, FlightEvent::kNumKinds> kAllFlightKinds = {
+    FlightEvent::Kind::kCreated,        FlightEvent::Kind::kEnqueued,
+    FlightEvent::Kind::kHeadOfLine,     FlightEvent::Kind::kTxAttempt,
+    FlightEvent::Kind::kCollided,       FlightEvent::Kind::kReceiverAsleep,
+    FlightEvent::Kind::kChannelLoss,    FlightEvent::Kind::kSyncLoss,
+    FlightEvent::Kind::kHopDelivered,   FlightEvent::Kind::kDelivered,
+    FlightEvent::Kind::kDropped,        FlightEvent::Kind::kExpired,
+};
+
+// Flat one-line objects with known keys, so targeted field extraction is
+// enough (the same approach as trace_replay.cpp).
+bool find_uint_field(const std::string& line, const std::string& key, std::uint64_t& out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  out = std::strtoull(p, &end, 10);
+  return end != p;
+}
+
+bool find_string_field(const std::string& line, const std::string& key, std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  const auto close = line.find('"', start);
+  if (close == std::string::npos) return false;
+  out = line.substr(start, close - start);
+  return true;
+}
+
+/// True for kinds that end a packet's lifecycle.
+bool is_terminal(FlightEvent::Kind kind) {
+  return kind == FlightEvent::Kind::kDelivered || kind == FlightEvent::Kind::kDropped ||
+         kind == FlightEvent::Kind::kExpired;
+}
+
+/// True for per-transmission outcomes that must share a slot with the
+/// tx-attempt that caused them.
+bool is_tx_outcome(FlightEvent::Kind kind) {
+  switch (kind) {
+    case FlightEvent::Kind::kCollided:
+    case FlightEvent::Kind::kReceiverAsleep:
+    case FlightEvent::Kind::kChannelLoss:
+    case FlightEvent::Kind::kSyncLoss:
+    case FlightEvent::Kind::kHopDelivered:
+    case FlightEvent::Kind::kDelivered:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool flight_kind_from_name(std::string_view name, FlightEvent::Kind& out) {
+  for (const FlightEvent::Kind kind : kAllFlightKinds) {
+    if (name == flight_kind_name(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_flight_jsonl(std::ostream& out, const FlightEvent& event) {
+  out << "{\"kind\":\"" << flight_kind_name(event.kind) << "\",\"slot\":" << event.slot
+      << ",\"packet\":" << event.packet_id << ",\"node\":" << event.node
+      << ",\"peer\":" << event.peer;
+  if (event.aux != 0) out << ",\"aux\":" << event.aux;
+  if (event.kind == FlightEvent::Kind::kCollided) {
+    out << ",\"interferer_count\":" << static_cast<unsigned>(event.interferer_count)
+        << ",\"interferers\":[";
+    for (std::size_t i = 0; i < event.stored_interferers(); ++i) {
+      if (i != 0) out << ',';
+      out << event.interferers[i];
+    }
+    out << ']';
+  }
+  out << "}\n";
+}
+
+void write_flight_jsonl(std::ostream& out, const std::vector<FlightEvent>& events) {
+  for (const FlightEvent& e : events) write_flight_jsonl(out, e);
+}
+
+bool write_flight_jsonl_file(const std::string& path, const std::vector<FlightEvent>& events) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_flight_jsonl(out, events);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+FlightParseResult read_flight_jsonl(std::istream& in) {
+  FlightParseResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string kind_str;
+    FlightEvent e;
+    std::uint64_t slot = 0, packet = 0, node = 0, peer = 0, aux = 0;
+    if (!find_string_field(line, "kind", kind_str) ||
+        !flight_kind_from_name(kind_str, e.kind) || !find_uint_field(line, "slot", slot) ||
+        !find_uint_field(line, "packet", packet) || !find_uint_field(line, "node", node) ||
+        !find_uint_field(line, "peer", peer)) {
+      result.errors.push_back(line);
+      continue;
+    }
+    e.slot = slot;
+    e.packet_id = packet;
+    e.node = static_cast<std::uint32_t>(node);
+    e.peer = static_cast<std::uint32_t>(peer);
+    if (find_uint_field(line, "aux", aux)) e.aux = static_cast<std::uint32_t>(aux);
+    if (e.kind == FlightEvent::Kind::kCollided) {
+      std::uint64_t count = 0;
+      if (find_uint_field(line, "interferer_count", count)) {
+        e.interferer_count = static_cast<std::uint8_t>(count);
+      }
+      const auto open = line.find("\"interferers\":[");
+      if (open != std::string::npos) {
+        const char* p = line.c_str() + open + 15;
+        std::size_t stored = 0;
+        while (*p != ']' && *p != '\0' && stored < FlightEvent::kMaxInterferers) {
+          char* end = nullptr;
+          const std::uint64_t v = std::strtoull(p, &end, 10);
+          if (end == p) break;
+          e.interferers[stored++] = static_cast<std::uint32_t>(v);
+          p = end;
+          if (*p == ',') ++p;
+        }
+      }
+    }
+    result.events.push_back(e);
+  }
+  return result;
+}
+
+FlightParseResult read_flight_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_flight_jsonl_file: cannot open " + path);
+  return read_flight_jsonl(in);
+}
+
+FlightLog::FlightLog(std::vector<FlightEvent> events) : events_(std::move(events)) {
+  std::map<std::uint64_t, PacketHistory> by_packet;
+  for (const FlightEvent& e : events_) {
+    PacketHistory& h = by_packet[e.packet_id];
+    if (h.events.empty()) {
+      h.packet_id = e.packet_id;
+      h.first_slot = e.slot;
+    }
+    h.events.push_back(e);
+    h.last_slot = e.slot;
+    switch (e.kind) {
+      case FlightEvent::Kind::kCreated:
+        h.origin = e.node;
+        h.destination = e.peer;
+        break;
+      case FlightEvent::Kind::kTxAttempt:
+        ++h.tx_attempts;
+        break;
+      case FlightEvent::Kind::kCollided:
+        ++h.collisions;
+        break;
+      case FlightEvent::Kind::kDelivered:
+        h.delivered = true;
+        h.latency = e.aux;
+        h.destination = e.node;
+        h.origin = e.peer;
+        break;
+      default:
+        break;
+    }
+  }
+  packets_.reserve(by_packet.size());
+  for (auto& [id, h] : by_packet) {
+    h.truncated = h.events.front().kind != FlightEvent::Kind::kCreated;
+    packet_index_[id] = packets_.size();
+    packets_.push_back(std::move(h));
+  }
+}
+
+const PacketHistory* FlightLog::packet(std::uint64_t packet_id) const {
+  const auto it = packet_index_.find(packet_id);
+  return it == packet_index_.end() ? nullptr : &packets_[it->second];
+}
+
+std::vector<FlightEvent> FlightLog::node_timeline(std::uint32_t node) const {
+  std::vector<FlightEvent> out;
+  for (const FlightEvent& e : events_) {
+    if (e.node == node) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<FlightLog::LatencyRecord> FlightLog::worst_latency(std::size_t k) const {
+  std::vector<LatencyRecord> out;
+  for (const PacketHistory& h : packets_) {
+    if (!h.delivered) continue;
+    LatencyRecord r;
+    r.packet_id = h.packet_id;
+    r.origin = h.origin;
+    r.destination = h.destination;
+    r.latency = h.latency;
+    for (const FlightEvent& e : h.events) {
+      if (e.kind == FlightEvent::Kind::kDelivered) r.delivered_slot = e.slot;
+    }
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), [](const LatencyRecord& a, const LatencyRecord& b) {
+    if (a.latency != b.latency) return a.latency > b.latency;
+    return a.packet_id < b.packet_id;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<FlightLog::CollisionHotspot> FlightLog::top_collisions(std::size_t k) const {
+  struct Acc {
+    std::uint64_t collisions = 0;
+    std::uint64_t first_slot = 0;
+    std::uint64_t last_slot = 0;
+    std::map<std::uint32_t, std::uint64_t> transmitters;
+  };
+  std::map<std::uint32_t, Acc> by_receiver;
+  for (const FlightEvent& e : events_) {
+    if (e.kind != FlightEvent::Kind::kCollided) continue;
+    Acc& a = by_receiver[e.node];
+    if (a.collisions == 0) a.first_slot = e.slot;
+    ++a.collisions;
+    a.last_slot = e.slot;
+    ++a.transmitters[e.peer];
+    for (std::size_t i = 0; i < e.stored_interferers(); ++i) {
+      ++a.transmitters[e.interferers[i]];
+    }
+  }
+  std::vector<CollisionHotspot> out;
+  out.reserve(by_receiver.size());
+  for (const auto& [receiver, a] : by_receiver) {
+    CollisionHotspot h;
+    h.receiver = receiver;
+    h.collisions = a.collisions;
+    h.first_slot = a.first_slot;
+    h.last_slot = a.last_slot;
+    h.transmitters.assign(a.transmitters.begin(), a.transmitters.end());
+    std::sort(h.transmitters.begin(), h.transmitters.end(),
+              [](const auto& x, const auto& y) {
+                if (x.second != y.second) return x.second > y.second;
+                return x.first < y.first;
+              });
+    out.push_back(std::move(h));
+  }
+  std::sort(out.begin(), out.end(), [](const CollisionHotspot& a, const CollisionHotspot& b) {
+    if (a.collisions != b.collisions) return a.collisions > b.collisions;
+    return a.receiver < b.receiver;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<std::string> FlightLog::self_check() const {
+  std::vector<std::string> violations;
+  const auto report = [&](const PacketHistory& h, const std::string& what) {
+    std::ostringstream os;
+    os << "packet " << h.packet_id << ": " << what;
+    violations.push_back(os.str());
+  };
+  for (const PacketHistory& h : packets_) {
+    std::uint64_t prev_slot = 0;
+    std::uint64_t last_tx_slot = ~std::uint64_t{0};
+    bool saw_head_of_line = false;
+    bool terminal_seen = false;
+    for (std::size_t i = 0; i < h.events.size(); ++i) {
+      const FlightEvent& e = h.events[i];
+      if (i > 0 && e.slot < prev_slot) {
+        report(h, "slots not monotone (" + std::to_string(e.slot) + " after " +
+                      std::to_string(prev_slot) + ")");
+      }
+      prev_slot = e.slot;
+      if (terminal_seen) {
+        report(h, std::string("event '") + flight_kind_name(e.kind) +
+                      "' after a terminal event");
+        terminal_seen = false;  // one report per history, not per trailing event
+      }
+      if (e.kind == FlightEvent::Kind::kCreated && i != 0) {
+        report(h, "creation event not in first position");
+      }
+      if (e.kind == FlightEvent::Kind::kHeadOfLine) saw_head_of_line = true;
+      if (e.kind == FlightEvent::Kind::kTxAttempt) {
+        last_tx_slot = e.slot;
+        if (!h.truncated && !saw_head_of_line) {
+          report(h, "tx-attempt before any head-of-line");
+        }
+      }
+      if (!h.truncated && is_tx_outcome(e.kind) && last_tx_slot != e.slot) {
+        report(h, std::string("outcome '") + flight_kind_name(e.kind) +
+                      "' without a same-slot tx-attempt");
+      }
+      if (is_terminal(e.kind)) terminal_seen = true;
+    }
+  }
+  return violations;
+}
+
+}  // namespace ttdc::obs

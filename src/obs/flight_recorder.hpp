@@ -1,0 +1,168 @@
+// Packet flight recorder: a bounded ring of structured per-packet lifecycle
+// events (created -> enqueued -> head-of-line -> tx-attempt -> collided /
+// delivered / dropped / expired), emitted by the simulator pipeline so a
+// post-mortem can answer *per-packet* questions ("why was this packet
+// late?", "which transmitters collided at receiver 17 in slot 9041?") that
+// the aggregate counters and histograms cannot.
+//
+// Cost contract (same as TTDC_PROF_SCOPE, DESIGN.md §11): the recorder is
+// always compiled in; with no recorder installed — or the global flag off —
+// Simulator::step() pays one relaxed atomic load per slot and every hook
+// site a predictable branch. Collision events carry the interferer set
+// recovered from the phase-2 slot-set intersection, so collision causality
+// is explicit in the record, not re-derived after the fact.
+//
+// Header-only for the same reason as metrics.hpp / profile.hpp: the
+// simulator records without a link edge back to ttdc_obs (which itself
+// links ttdc_sim). The compiled companions — JSONL dump/load, the FlightLog
+// query API, and the Perfetto exporter — live in flight_query.{hpp,cpp} and
+// perfetto.{hpp,cpp}.
+//
+// A FlightRecorder instance is NOT thread-safe: it belongs to exactly one
+// simulator (the campaign runner gives each cell its own ring and replays
+// outlier rings at the join barrier).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace ttdc::obs {
+
+/// One packet-lifecycle event. Fixed size so the ring never allocates after
+/// construction; the interferer set is stored inline (first
+/// kMaxInterferers, with the true cardinality in interferer_count).
+struct FlightEvent {
+  enum class Kind : std::uint8_t {
+    kCreated,         // node = origin, peer = final destination
+    kEnqueued,        // node = queue owner, peer = origin; aux = queue depth
+    kHeadOfLine,      // node = queue owner, peer = next hop (kNoNode if
+                      // unroutable); aux = queue depth
+    kTxAttempt,       // node = transmitter, peer = intended next hop
+    kCollided,        // node = intended receiver, peer = transmitter;
+                      // interferers = OTHER transmitting neighbors of node
+    kReceiverAsleep,  // node = intended receiver, peer = transmitter
+    kChannelLoss,     // node = intended receiver, peer = transmitter
+    kSyncLoss,        // node = intended receiver, peer = transmitter
+    kHopDelivered,    // node = receiver (forwarder), peer = transmitter
+    kDelivered,       // node = final destination, peer = origin;
+                      // aux = end-to-end latency in slots
+    kDropped,         // queue-full drop: node = dropping node, peer = origin
+    kExpired,         // unroutable drop: node = dropping node, peer = origin
+  };
+  static constexpr std::size_t kMaxInterferers = 6;
+  static constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
+  static constexpr std::size_t kNumKinds = 12;
+
+  std::uint64_t slot = 0;
+  std::uint64_t packet_id = 0;
+  std::uint32_t node = 0;
+  std::uint32_t peer = 0;
+  /// Kind-specific scalar: queue depth after the event (kEnqueued,
+  /// kHeadOfLine), end-to-end latency in slots (kDelivered), 0 otherwise.
+  std::uint32_t aux = 0;
+  Kind kind = Kind::kCreated;
+  /// kCollided only: TRUE interferer cardinality (may exceed
+  /// kMaxInterferers; only the first kMaxInterferers node ids are stored).
+  std::uint8_t interferer_count = 0;
+  std::uint32_t interferers[kMaxInterferers] = {};
+
+  [[nodiscard]] std::size_t stored_interferers() const {
+    return interferer_count < kMaxInterferers ? interferer_count : kMaxInterferers;
+  }
+
+  friend bool operator==(const FlightEvent& a, const FlightEvent& b) {
+    if (a.slot != b.slot || a.packet_id != b.packet_id || a.node != b.node ||
+        a.peer != b.peer || a.aux != b.aux || a.kind != b.kind ||
+        a.interferer_count != b.interferer_count) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.stored_interferers(); ++i) {
+      if (a.interferers[i] != b.interferers[i]) return false;
+    }
+    return true;
+  }
+};
+
+/// Bounded ring of FlightEvents, oldest evicted first; O(1) per event and
+/// allocation-free after construction. Install into SimConfig::recorder.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity) : buf_(capacity) {}
+
+  /// Process-wide arming flag (relaxed; default on). The simulator samples
+  /// it once per slot, so flipping it bounds the recording to a region
+  /// without re-wiring SimConfig — the same enable shape as
+  /// Profiler::enable.
+  static void enable(bool on) { enabled_flag().store(on, std::memory_order_relaxed); }
+  [[nodiscard]] static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  void record(const FlightEvent& event) {
+    if (buf_.empty()) return;
+    buf_[next_] = event;
+    if (++next_ == buf_.size()) next_ = 0;
+    ++seen_;
+  }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events() const {
+    std::vector<FlightEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    // Oldest event sits at next_ once the ring has wrapped.
+    const std::size_t start = seen_ >= buf_.size() ? next_ : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t idx = start + i;
+      if (idx >= buf_.size()) idx -= buf_.size();
+      out.push_back(buf_[idx]);
+    }
+    return out;
+  }
+
+  /// Total events ever recorded (>= size() once the ring wraps).
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    return seen_ >= buf_.size() ? buf_.size() : static_cast<std::size_t>(seen_);
+  }
+  [[nodiscard]] bool wrapped() const { return seen_ > buf_.size(); }
+
+  void clear() {
+    next_ = 0;
+    seen_ = 0;
+  }
+
+ private:
+  static std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag{true};
+    return flag;
+  }
+
+  std::vector<FlightEvent> buf_;
+  std::size_t next_ = 0;
+  std::uint64_t seen_ = 0;
+};
+
+/// Stable wire name of an event kind ("created", "tx_attempt", ...).
+[[nodiscard]] inline const char* flight_kind_name(FlightEvent::Kind kind) {
+  switch (kind) {
+    case FlightEvent::Kind::kCreated: return "created";
+    case FlightEvent::Kind::kEnqueued: return "enqueued";
+    case FlightEvent::Kind::kHeadOfLine: return "head_of_line";
+    case FlightEvent::Kind::kTxAttempt: return "tx_attempt";
+    case FlightEvent::Kind::kCollided: return "collided";
+    case FlightEvent::Kind::kReceiverAsleep: return "receiver_asleep";
+    case FlightEvent::Kind::kChannelLoss: return "channel_loss";
+    case FlightEvent::Kind::kSyncLoss: return "sync_loss";
+    case FlightEvent::Kind::kHopDelivered: return "hop_delivered";
+    case FlightEvent::Kind::kDelivered: return "delivered";
+    case FlightEvent::Kind::kDropped: return "dropped";
+    case FlightEvent::Kind::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+}  // namespace ttdc::obs

@@ -1,0 +1,52 @@
+// Chrome-trace-event JSON exporter, loadable in ui.perfetto.dev (or
+// chrome://tracing). Packets become async tracks over the slot time axis,
+// each node gets an instant-event timeline, and the hierarchical profiler
+// span tree is laid out as a synthetic flame-graph track (spans are
+// aggregates, so bars are packed by DFS order, duration = accumulated
+// time — relative widths and nesting are meaningful, absolute starts are
+// not).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/flight_query.hpp"
+#include "obs/profile.hpp"
+
+namespace ttdc::obs {
+
+struct PerfettoOptions {
+  /// Trace-event timestamps are microseconds; one simulator slot maps to
+  /// this many. The default keeps one slot = 1ms so slot numbers read
+  /// directly off the Perfetto ruler.
+  double slot_us = 1000.0;
+  bool include_packets = true;      ///< async b/n/e track per packet
+  bool include_node_tracks = true;  ///< instant-event timeline per node
+  bool include_spans = true;        ///< profiler span tree (flame layout)
+};
+
+/// Writes a complete JSON trace ({"traceEvents":[...]}). `profiler` may be
+/// nullptr to export only the packet/node view.
+void write_perfetto_trace(std::ostream& out, const FlightLog& log,
+                          const Profiler* profiler,
+                          const PerfettoOptions& options = {});
+
+/// File convenience wrapper; false on I/O failure.
+bool write_perfetto_trace_file(const std::string& path, const FlightLog& log,
+                               const Profiler* profiler,
+                               const PerfettoOptions& options = {});
+
+/// Minimal structural JSON validator (syntax only: balanced containers,
+/// well-formed strings/numbers/literals, single root value). Used by tests
+/// to check exported traces without a JSON library; sets `error` to a
+/// human-readable reason on failure.
+[[nodiscard]] bool json_validate(const std::string& text, std::string* error = nullptr);
+
+/// Structural check specific to trace-event JSON: valid JSON whose root
+/// object has a "traceEvents" array in which every event carries "ph" and
+/// "name" keys. Returns violation lines (empty == structurally valid).
+[[nodiscard]] std::vector<std::string> validate_trace_events(const std::string& text);
+
+}  // namespace ttdc::obs

@@ -1,5 +1,7 @@
 #include "runner/cache.hpp"
 
+#include "obs/profile.hpp"
+
 namespace ttdc::runner {
 
 std::shared_ptr<const core::Schedule> ArtifactStore::schedule(
@@ -11,6 +13,7 @@ std::shared_ptr<const core::Schedule> ArtifactStore::schedule(
     return it->second;
   }
   ++misses_;
+  TTDC_PROF_SCOPE("runner.artifacts.build_schedule");
   auto built = std::make_shared<const core::Schedule>(build());
   schedules_.emplace(key, built);
   return built;
@@ -26,6 +29,7 @@ std::shared_ptr<const net::RoutingTable> ArtifactStore::routing(const net::Graph
     }
   }
   ++misses_;
+  TTDC_PROF_SCOPE("runner.artifacts.build_routing");
   auto entry = std::make_shared<RoutingEntry>(graph);
   chain.push_back(entry);
   return {entry, &entry->table};
@@ -40,6 +44,7 @@ std::shared_ptr<const util::BinomialTable> ArtifactStore::binomials(std::size_t 
     return slot;
   }
   ++misses_;
+  TTDC_PROF_SCOPE("runner.artifacts.build_binomials");
   slot = std::make_shared<const util::BinomialTable>(max_n, max_k);
   return slot;
 }
@@ -53,6 +58,7 @@ std::shared_ptr<const core::ThroughputTables> ArtifactStore::throughput(
     return slot;
   }
   ++misses_;
+  TTDC_PROF_SCOPE("runner.artifacts.build_throughput");
   slot = std::make_shared<const core::ThroughputTables>(n, degree_bound);
   return slot;
 }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/flight_query.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -34,13 +36,50 @@ int Campaign::resolved_workers() const {
 }
 
 void Campaign::run_cell(std::size_t index, CellContext& ctx) {
+  TTDC_PROF_SCOPE("runner.run_cell");
   ctx.index_ = index;
   ctx.name_ = cells_[index].name;
   ctx.seed_ = seeds_[index];
   ctx.artifacts_ = artifacts_.get();
   ctx.metrics_ = options_.metrics;
+  if (options_.flight_capture) {
+    ctx.flight_ =
+        std::make_unique<obs::FlightRecorder>(options_.flight_capture->ring_capacity);
+  }
   cells_[index].fn(ctx);
 }
+
+namespace {
+
+std::string sanitize_for_filename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!keep) c = '_';
+  }
+  return out;
+}
+
+/// Returns a non-empty trigger description if `stats` makes the cell an
+/// outlier under `opt`.
+std::string outlier_reason(const FlightCaptureOptions& opt, const sim::SimStats& stats) {
+  std::ostringstream os;
+  if (opt.latency_p99_threshold > 0.0) {
+    const double p99 = static_cast<double>(stats.latency.percentile(99));
+    if (p99 > opt.latency_p99_threshold) {
+      os << "p99 latency " << p99 << " > " << opt.latency_p99_threshold;
+      return os.str();
+    }
+  }
+  if (opt.min_delivery_ratio > 0.0 && stats.delivery_ratio() < opt.min_delivery_ratio) {
+    os << "delivery ratio " << stats.delivery_ratio() << " < " << opt.min_delivery_ratio;
+    return os.str();
+  }
+  return {};
+}
+
+}  // namespace
 
 CampaignResult Campaign::merge(std::vector<CellContext>& contexts, double elapsed,
                                int workers) {
@@ -55,6 +94,24 @@ CampaignResult Campaign::merge(std::vector<CellContext>& contexts, double elapse
     result.aggregate.merge(ctx.stats_);
     if (options_.trace) {
       for (const auto& e : ctx.trace_) options_.trace(e);
+    }
+    if (options_.flight_capture && ctx.flight_ != nullptr &&
+        result.flight_dumps.size() < options_.flight_capture->max_dumps) {
+      const std::string reason = outlier_reason(*options_.flight_capture, ctx.stats_);
+      if (!reason.empty()) {
+        FlightDump dump;
+        dump.cell_index = ctx.index_;
+        dump.cell_name = ctx.name_;
+        dump.reason = reason;
+        const std::vector<obs::FlightEvent> events = ctx.flight_->events();
+        dump.events = events.size();
+        dump.path = options_.flight_capture->dir + "/flight_" +
+                    std::to_string(ctx.index_) + "_" + sanitize_for_filename(ctx.name_) +
+                    ".jsonl";
+        if (obs::write_flight_jsonl_file(dump.path, events)) {
+          result.flight_dumps.push_back(std::move(dump));
+        }
+      }
     }
     result.cells.push_back(
         CellResult{std::move(ctx.name_), std::move(ctx.stats_), std::move(ctx.metrics_out_)});

@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "runner/cache.hpp"
 #include "sim/simulator.hpp"
@@ -85,6 +87,13 @@ class CellContext {
     return [this](const sim::TraceEvent& e) { trace_.push_back(e); };
   }
 
+  /// This cell's private flight-recorder ring, or nullptr when the
+  /// campaign has no flight capture configured. Cells wire it into
+  /// SimConfig::recorder; the campaign inspects the ring at the join
+  /// barrier and dumps it only for outlier cells (same buffered-replay
+  /// discipline as trace_fn: nothing shared, nothing interleaved).
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const { return flight_.get(); }
+
  private:
   friend class Campaign;
   std::size_t index_ = 0;
@@ -95,6 +104,7 @@ class CellContext {
   sim::SimStats stats_;
   std::vector<std::pair<std::string, double>> metrics_out_;
   std::vector<sim::TraceEvent> trace_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
 };
 
 using CellFn = std::function<void(CellContext&)>;
@@ -106,10 +116,23 @@ struct CellResult {
   std::vector<std::pair<std::string, double>> metrics;
 };
 
+/// One outlier cell's captured flight ring, dumped at the join barrier.
+struct FlightDump {
+  std::size_t cell_index = 0;
+  std::string cell_name;
+  std::string path;     ///< JSONL file written under FlightCaptureOptions::dir
+  std::string reason;   ///< human-readable trigger ("p99 latency 210 > 150")
+  std::size_t events = 0;
+};
+
 struct CampaignResult {
   /// All cells' SimStats merged in cell-index order.
   sim::SimStats aggregate;
   std::vector<CellResult> cells;
+  /// Flight rings dumped for outlier cells (cell-index order, capped at
+  /// FlightCaptureOptions::max_dumps). Empty when capture is off or no
+  /// cell tripped a trigger.
+  std::vector<FlightDump> flight_dumps;
   double elapsed_seconds = 0.0;
   /// Workers requested for the run (1 for run_serial()).
   int workers = 1;
@@ -123,10 +146,30 @@ struct CampaignResult {
   [[nodiscard]] std::string aggregate_json() const;
 };
 
+/// Post-mortem capture for outlier cells: every cell records into a
+/// private flight ring, and at the join barrier the campaign dumps the
+/// rings of cells that tripped a trigger — the slow tail explains itself
+/// without rerunning. Triggers with value 0 are disabled.
+struct FlightCaptureOptions {
+  /// Per-cell ring capacity in events (bounded memory per worker).
+  std::size_t ring_capacity = 1 << 16;
+  /// Directory for dump files (`flight_<index>_<name>.jsonl`); must exist.
+  std::string dir = ".";
+  /// Dump a cell whose p99 end-to-end latency (slots) exceeds this.
+  double latency_p99_threshold = 0.0;
+  /// Dump a cell whose delivery ratio falls below this.
+  double min_delivery_ratio = 0.0;
+  /// At most this many dumps per run (worst offenders by cell order).
+  std::size_t max_dumps = 4;
+};
+
 struct CampaignOptions {
   /// Master seed; cell i derives its own via SplitMix64 (see
   /// CellContext::seed).
   std::uint64_t master_seed = 0x5eed;
+  /// When set, arms per-cell flight recorders and dumps outlier cells'
+  /// rings at the barrier (see FlightCaptureOptions).
+  std::optional<FlightCaptureOptions> flight_capture;
   /// Worker team size for run(). 0 = $TTDC_NUM_THREADS when set, else the
   /// OpenMP default (util::hardware_parallelism).
   int num_workers = 0;

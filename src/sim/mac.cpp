@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
 #include "util/check.hpp"
 
 namespace ttdc::sim {
@@ -51,6 +52,7 @@ RadioState DutyCycledScheduleMac::idle_state(std::size_t node) const {
 
 bool DutyCycledScheduleMac::fill_slot_sets(util::DynamicBitset& receivers,
                                            util::DynamicBitset& transmitters) const {
+  TTDC_PROF_SCOPE("mac.fill_slot_sets.duty_cycled");
   if (schedule_.num_nodes() != receivers.size()) {
     // Schedule built over a different universe than the simulated graph:
     // keep the scalar path, which indexes per node and stays in bounds.
@@ -79,6 +81,7 @@ bool SlottedAlohaMac::wants_transmit(std::size_t node, std::size_t) const {
 
 bool SlottedAlohaMac::fill_slot_sets(util::DynamicBitset& receivers,
                                      util::DynamicBitset& transmitters) const {
+  TTDC_PROF_SCOPE("mac.fill_slot_sets.aloha");
   receivers.set_all();  // ALOHA never sleeps
   transmitters.copy_from(coin_);
   return true;
@@ -114,6 +117,7 @@ RadioState UncoordinatedSleepMac::idle_state(std::size_t node) const {
 
 bool UncoordinatedSleepMac::fill_slot_sets(util::DynamicBitset& receivers,
                                            util::DynamicBitset& transmitters) const {
+  TTDC_PROF_SCOPE("mac.fill_slot_sets.uncoordinated_sleep");
   receivers.copy_from(awake_);
   transmitters.copy_from(coin_);  // coin_ ⊆ awake_ by construction
   return true;
@@ -152,6 +156,7 @@ RadioState CommonActivePeriodMac::idle_state(std::size_t) const {
 
 bool CommonActivePeriodMac::fill_slot_sets(util::DynamicBitset& receivers,
                                            util::DynamicBitset& transmitters) const {
+  TTDC_PROF_SCOPE("mac.fill_slot_sets.common_active_period");
   if (in_active_) {
     receivers.set_all();
     transmitters.copy_from(coin_);
@@ -211,6 +216,7 @@ bool ColoringTdmaMac::wants_transmit(std::size_t node, std::size_t) const {
 
 bool ColoringTdmaMac::fill_slot_sets(util::DynamicBitset& receivers,
                                      util::DynamicBitset& transmitters) const {
+  TTDC_PROF_SCOPE("mac.fill_slot_sets.coloring_tdma");
   const util::DynamicBitset& owners = color_members_[current_color_];
   transmitters.copy_from(owners);
   // Everyone else listens. An idle owner sleeps (no neighbor shares its

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <bit>
+
 #include "obs/profile.hpp"
 #include "util/check.hpp"
 
@@ -172,10 +174,12 @@ void Simulator::inject(std::size_t origin, std::size_t destination) {
   p.destination = destination;
   p.created_slot = now_;
   trace(TraceEvent::Kind::kGenerated, origin, destination, p.id);
+  if (recording_) record_flight(obs::FlightEvent::Kind::kCreated, origin, destination, p.id);
   if (!queue_push(origin, p)) {
     ++stats_.queue_drops;
     if (hot_.queue_drops) hot_.queue_drops->inc();
     trace(TraceEvent::Kind::kQueueDrop, origin, origin, p.id);
+    if (recording_) record_flight(obs::FlightEvent::Kind::kDropped, origin, origin, p.id);
   }
 }
 
@@ -185,6 +189,9 @@ void Simulator::run(std::uint64_t slots) {
 
 void Simulator::step() {
   TTDC_PROF_SCOPE("sim.step");
+  // The whole flight-recorder cost when disarmed: a null check and (with a
+  // recorder installed) one relaxed load, sampled once per slot.
+  recording_ = config_.recorder != nullptr && obs::FlightRecorder::enabled();
   {
     TTDC_PROF_SCOPE("sim.step.traffic");
     traffic_.generate(now_, rng_, [&](std::size_t o, std::size_t d) { inject(o, d); });
@@ -230,6 +237,10 @@ void Simulator::collect_transmissions_scalar() {
           ++stats_.queue_drops;
           if (hot_.queue_drops) hot_.queue_drops->inc();
           trace(TraceEvent::Kind::kQueueDrop, v, q.front().origin, q.front().id);
+          if (recording_) {
+            record_flight(obs::FlightEvent::Kind::kExpired, v, q.front().origin,
+                          q.front().id);
+          }
           queue_pop(v);
           continue;  // look at the next packet
         }
@@ -240,6 +251,9 @@ void Simulator::collect_transmissions_scalar() {
         tx_targets_.push_back(hop);
         transmitting_.set(v);
         trace(TraceEvent::Kind::kTransmit, v, hop, q.front().id);
+        if (recording_) {
+          record_flight(obs::FlightEvent::Kind::kTxAttempt, v, hop, q.front().id);
+        }
       }
       break;
     }
@@ -277,6 +291,10 @@ void Simulator::collect_transmissions_batched(bool mac_batched) {
           ++stats_.queue_drops;
           if (hot_.queue_drops) hot_.queue_drops->inc();
           trace(TraceEvent::Kind::kQueueDrop, v, q.front().origin, q.front().id);
+          if (recording_) {
+            record_flight(obs::FlightEvent::Kind::kExpired, v, q.front().origin,
+                          q.front().id);
+          }
           queue_pop(v);
           continue;  // look at the next packet
         }
@@ -290,6 +308,9 @@ void Simulator::collect_transmissions_batched(bool mac_batched) {
         tx_targets_.push_back(hop);
         transmitting_.set(v);
         trace(TraceEvent::Kind::kTransmit, v, hop, q.front().id);
+        if (recording_) {
+          record_flight(obs::FlightEvent::Kind::kTxAttempt, v, hop, q.front().id);
+        }
       }
       break;
     }
@@ -309,6 +330,9 @@ void Simulator::resolve_receptions(bool batched) {
       ++stats_.receiver_asleep;
       if (hot_.receiver_asleep) hot_.receiver_asleep->inc();
       trace(TraceEvent::Kind::kReceiverAsleep, y, x, queues_[x].front().id);
+      if (recording_) {
+        record_flight(obs::FlightEvent::Kind::kReceiverAsleep, y, x, queues_[x].front().id);
+      }
       continue;
     }
     // Collision iff any other transmitter is in y's neighborhood. x is a
@@ -328,6 +352,7 @@ void Simulator::resolve_receptions(bool batched) {
       ++stats_.collisions;
       if (hot_.collisions) hot_.collisions->inc();
       trace(TraceEvent::Kind::kCollision, y, x, queues_[x].front().id);
+      if (recording_) record_collision(y, x, queues_[x].front().id);
       continue;
     }
     // Channel imperfections: slot misalignment, then fading/noise.
@@ -335,12 +360,18 @@ void Simulator::resolve_receptions(bool batched) {
       ++stats_.sync_losses;
       if (hot_.sync_losses) hot_.sync_losses->inc();
       trace(TraceEvent::Kind::kSyncLoss, y, x, queues_[x].front().id);
+      if (recording_) {
+        record_flight(obs::FlightEvent::Kind::kSyncLoss, y, x, queues_[x].front().id);
+      }
       continue;
     }
     if (config_.packet_error_rate > 0.0 && rng_.bernoulli(config_.packet_error_rate)) {
       ++stats_.channel_losses;
       if (hot_.channel_losses) hot_.channel_losses->inc();
       trace(TraceEvent::Kind::kChannelLoss, y, x, queues_[x].front().id);
+      if (recording_) {
+        record_flight(obs::FlightEvent::Kind::kChannelLoss, y, x, queues_[x].front().id);
+      }
       continue;
     }
     // Success: dequeue at x, deliver or forward at y.
@@ -358,15 +389,63 @@ void Simulator::resolve_receptions(bool batched) {
         hot_.latency->observe(static_cast<double>(now_ - p.created_slot));
       }
       trace(TraceEvent::Kind::kFinalDelivered, y, p.origin, p.id);
+      if (recording_) {
+        record_flight(obs::FlightEvent::Kind::kDelivered, y, p.origin, p.id,
+                      static_cast<std::uint32_t>(now_ - p.created_slot));
+      }
     } else {
       trace(TraceEvent::Kind::kHopDelivered, y, x, p.id);
+      if (recording_) record_flight(obs::FlightEvent::Kind::kHopDelivered, y, x, p.id);
       if (!queue_push(y, p)) {
         ++stats_.queue_drops;
         if (hot_.queue_drops) hot_.queue_drops->inc();
         trace(TraceEvent::Kind::kQueueDrop, y, p.origin, p.id);
+        if (recording_) record_flight(obs::FlightEvent::Kind::kDropped, y, p.origin, p.id);
       }
     }
   }
+}
+
+void Simulator::record_head_of_line(std::size_t node) {
+  const Packet& head = queues_[node].front();
+  const std::size_t hop = routing_view_->next_hop(node, head.destination);
+  record_flight(obs::FlightEvent::Kind::kHeadOfLine, node,
+                hop == kNoHop ? obs::FlightEvent::kNoNode
+                              : static_cast<std::uint32_t>(hop),
+                head.id, static_cast<std::uint32_t>(queues_[node].size()));
+}
+
+void Simulator::record_collision(std::size_t y, std::size_t x, std::uint64_t packet_id) {
+  obs::FlightEvent e;
+  e.slot = now_;
+  e.packet_id = packet_id;
+  e.node = static_cast<std::uint32_t>(y);
+  e.peer = static_cast<std::uint32_t>(x);
+  e.kind = obs::FlightEvent::Kind::kCollided;
+  // The interferer set is exactly the phase-2 intersection neighbors(y) AND
+  // transmitting_, minus the tracked transmitter x — recovered here
+  // word-parallel, without materializing a bitset, on the recording path
+  // only (the collision verdict itself never pays for this).
+  const auto& nb = graph_.neighbors(y).words();
+  const auto& tx = transmitting_.words();
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < nb.size(); ++w) {
+    util::DynamicBitset::Word word = nb[w] & tx[w];
+    while (word != 0) {
+      const std::size_t v =
+          w * util::DynamicBitset::kWordBits +
+          static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      if (v == x) continue;
+      if (count < obs::FlightEvent::kMaxInterferers) {
+        e.interferers[count] = static_cast<std::uint32_t>(v);
+      }
+      ++count;
+    }
+  }
+  e.interferer_count = static_cast<std::uint8_t>(
+      count > 255 ? 255 : count);
+  config_.recorder->record(e);
 }
 
 void Simulator::kill_node(std::size_t v) {

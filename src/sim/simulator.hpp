@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/mac.hpp"
 #include "sim/packet.hpp"
@@ -82,6 +83,16 @@ struct SimConfig {
   /// at construction and bumps them live on the hot path (one pre-resolved
   /// relaxed atomic increment per event); leave null for zero overhead.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional packet flight recorder (obs/flight_recorder.hpp): a bounded
+  /// ring of per-packet lifecycle events (created -> enqueued ->
+  /// head-of-line -> tx-attempt -> collided/delivered/dropped/expired),
+  /// with collision events carrying the interferer set recovered from the
+  /// phase-2 intersection. Cost contract: leave null (the default) and
+  /// step() pays one branch per slot; installed but disarmed
+  /// (FlightRecorder::enable(false)) costs one relaxed load per slot; armed
+  /// recording never touches the RNG stream or SimStats, so golden
+  /// equality between pipelines is preserved with recording on or off.
+  obs::FlightRecorder* recorder = nullptr;
   /// Per-node battery budget in millijoules; 0 means unlimited. When a
   /// node's budget (drained per slot by radio state and per wakeup, using
   /// `energy`) reaches zero the node dies: it stops generating,
@@ -187,6 +198,11 @@ class Simulator {
     if (!queues_[node].push(p)) return false;
     backlogged_.set(node);
     if (queues_[node].size() == 1) refresh_head_routability(node);
+    if (recording_) {
+      record_flight(obs::FlightEvent::Kind::kEnqueued, node, p.origin, p.id,
+                    static_cast<std::uint32_t>(queues_[node].size()));
+      if (queues_[node].size() == 1) record_head_of_line(node);
+    }
     return true;
   }
   void queue_pop(std::size_t node) {
@@ -196,6 +212,7 @@ class Simulator {
       unroutable_head_.reset(node);
     } else {
       refresh_head_routability(node);
+      if (recording_) record_head_of_line(node);
     }
   }
   void refresh_head_routability(std::size_t node) {
@@ -215,6 +232,29 @@ class Simulator {
     if (!tracing_) return;
     config_.trace(TraceEvent{kind, now_, node, peer, packet_id});
   }
+
+  /// Flight-recorder emission. Every hook site is guarded by `recording_`,
+  /// which step() refreshes once per slot from the installed recorder and
+  /// the process-wide arming flag (the contract documented on
+  /// SimConfig::recorder).
+  void record_flight(obs::FlightEvent::Kind kind, std::size_t node, std::size_t peer,
+                     std::uint64_t packet_id, std::uint32_t aux = 0) {
+    obs::FlightEvent e;
+    e.slot = now_;
+    e.packet_id = packet_id;
+    e.node = static_cast<std::uint32_t>(node);
+    e.peer = static_cast<std::uint32_t>(peer);
+    e.aux = aux;
+    e.kind = kind;
+    config_.recorder->record(e);
+  }
+  /// kHeadOfLine for the current head of `node`'s (non-empty) queue; peer
+  /// is the next hop (kNoNode when unroutable), aux the queue depth.
+  void record_head_of_line(std::size_t node);
+  /// kCollided at receiver y of transmitter x, with the interferer set
+  /// (the OTHER transmitting neighbors of y) recovered word-parallel from
+  /// the phase-2 intersection neighbors(y) AND transmitting_.
+  void record_collision(std::size_t y, std::size_t x, std::uint64_t packet_id);
 
   /// Live hot-path metric handles (all null when config.metrics is null).
   struct HotMetrics {
@@ -243,6 +283,7 @@ class Simulator {
   SimStats stats_;
   HotMetrics hot_;
   bool tracing_ = false;
+  bool recording_ = false;  // per-slot sample of (recorder installed && armed)
   std::uint64_t now_ = 0;
   std::uint64_t next_packet_id_ = 0;
 

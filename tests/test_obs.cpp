@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -142,6 +143,66 @@ TEST(Metrics, PrometheusTextExposition) {
   EXPECT_NE(text.find("ttdc_lat_bucket{le=\"8\"} 2"), std::string::npos);
   EXPECT_NE(text.find("ttdc_lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
   EXPECT_NE(text.find("ttdc_lat_count 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition conformance (text format 0.0.4).
+
+TEST(Metrics, PrometheusHelpTextIsEscaped) {
+  MetricsRegistry registry;
+  registry.counter("ttdc_esc_total", "line one\nline two with back\\slash").inc(1);
+  const std::string text = prometheus_text(registry);
+  // The HELP line must stay a single line: newline -> \n, backslash -> \\.
+  EXPECT_NE(
+      text.find("# HELP ttdc_esc_total line one\\nline two with back\\\\slash\n"),
+      std::string::npos)
+      << text;
+  // No raw newline may survive inside the HELP text: the entire escaped
+  // help, including the tail after the original newline, stays on the one
+  // physical HELP line.
+  const auto help_pos = text.find("# HELP");
+  const auto eol = text.find('\n', help_pos);
+  const std::string help_line = text.substr(help_pos, eol - help_pos);
+  EXPECT_NE(help_line.find("back\\\\slash"), std::string::npos) << help_line;
+  EXPECT_NE(help_line.find("\\n"), std::string::npos) << help_line;
+}
+
+TEST(Metrics, PrometheusNameValidation) {
+  EXPECT_TRUE(prometheus_valid_metric_name("ttdc_sim_delivered_total"));
+  EXPECT_TRUE(prometheus_valid_metric_name("ns:subsystem:name"));
+  EXPECT_TRUE(prometheus_valid_metric_name("_leading_underscore"));
+  EXPECT_FALSE(prometheus_valid_metric_name(""));
+  EXPECT_FALSE(prometheus_valid_metric_name("9starts_with_digit"));
+  EXPECT_FALSE(prometheus_valid_metric_name("has space"));
+  EXPECT_FALSE(prometheus_valid_metric_name("has-dash"));
+
+  EXPECT_TRUE(prometheus_valid_label_name("le"));
+  EXPECT_TRUE(prometheus_valid_label_name("instance_id"));
+  EXPECT_FALSE(prometheus_valid_label_name("with:colon"));  // labels ban colons
+  EXPECT_FALSE(prometheus_valid_label_name("1bad"));
+}
+
+TEST(Metrics, PrometheusEveryExposedNameIsValid) {
+  MetricsRegistry registry;
+  registry.counter("good_name_total").inc(1);
+  registry.gauge("9leading digit & punctuation!").set(2);
+  registry.histogram("spaced out name", {1.0}).observe(0.5);
+  const std::string text = prometheus_text(registry);
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto cut = line.find_first_of(" {");
+    ASSERT_NE(cut, std::string::npos) << line;
+    EXPECT_TRUE(prometheus_valid_metric_name(line.substr(0, cut)))
+        << "invalid exposed metric name in: " << line;
+  }
+}
+
+TEST(Metrics, PrometheusEscapeHelpIsIdempotentOnCleanText) {
+  EXPECT_EQ(prometheus_escape_help("plain help text"), "plain help text");
+  EXPECT_EQ(prometheus_escape_help("a\\b\nc"), "a\\\\b\\nc");
+  EXPECT_EQ(prometheus_escape_help(""), "");
 }
 
 // ---------------------------------------------------------------------------
@@ -380,6 +441,113 @@ TEST(Profiler, ScopesAccumulateOnlyWhenEnabled) {
   }
   EXPECT_TRUE(saw);
   EXPECT_NE(Profiler::instance().report().find("test.enabled_scope"), std::string::npos);
+}
+
+namespace {
+void spin_for_microseconds(int us) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start < std::chrono::microseconds(us)) {
+  }
+}
+}  // namespace
+
+TEST(Profiler, HierarchicalSpansTrackParentChildAndSelfTime) {
+  Profiler& prof = Profiler::instance();
+  prof.reset();
+  {
+    ProfilerSession session;
+    for (int i = 0; i < 2; ++i) {
+      TTDC_PROF_SCOPE("span.outer");
+      spin_for_microseconds(200);
+      for (int j = 0; j < 3; ++j) {
+        TTDC_PROF_SCOPE("span.inner");
+        spin_for_microseconds(100);
+      }
+    }
+    {
+      // The same site under no parent must become a distinct root span.
+      TTDC_PROF_SCOPE("span.inner");
+      spin_for_microseconds(50);
+    }
+  }
+
+  const auto spans = prof.span_samples();
+  const Profiler::SpanSample* outer = nullptr;
+  const Profiler::SpanSample* nested_inner = nullptr;
+  const Profiler::SpanSample* root_inner = nullptr;
+  for (const auto& s : spans) {
+    if (s.name == "span.outer" && s.depth == 0) outer = &s;
+    if (s.name == "span.inner" && s.depth == 1) nested_inner = &s;
+    if (s.name == "span.inner" && s.depth == 0) root_inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(nested_inner, nullptr);
+  ASSERT_NE(root_inner, nullptr) << "same site under a different parent must split";
+
+  EXPECT_EQ(outer->calls, 2u);
+  EXPECT_EQ(nested_inner->calls, 6u);
+  EXPECT_EQ(root_inner->calls, 1u);
+  EXPECT_EQ(nested_inner->path, "span.outer/span.inner");
+  EXPECT_EQ(root_inner->path, "span.inner");
+
+  // Self time excludes children: outer spent ~400us itself and ~600us in
+  // inner, so self < total, and total >= children's total.
+  EXPECT_LT(outer->self_seconds, outer->total_seconds);
+  EXPECT_GE(outer->total_seconds, nested_inner->total_seconds);
+  EXPECT_GT(nested_inner->self_seconds, 0.0);
+
+  // The flat view aggregates both inner spans by name (backward compat).
+  std::uint64_t flat_inner_calls = 0;
+  for (const auto& s : prof.samples()) {
+    if (s.name == "span.inner") flat_inner_calls = s.calls;
+  }
+  EXPECT_EQ(flat_inner_calls, 7u);
+
+  // span_report renders the tree with the child indented under its parent.
+  const std::string tree = prof.span_report();
+  const auto outer_pos = tree.find("span.outer");
+  const auto inner_pos = tree.find("span.inner", outer_pos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+}
+
+TEST(Profiler, PublishIncludesSelfSeconds) {
+  Profiler& prof = Profiler::instance();
+  prof.reset();
+  {
+    ProfilerSession session;
+    TTDC_PROF_SCOPE("pub.site");
+  }
+  MetricsRegistry registry;
+  prof.publish(registry);
+  bool saw_self = false;
+  for (const auto& snap : registry.snapshot()) {
+    if (snap.name == "prof_pub_site_self_seconds") saw_self = true;
+  }
+  EXPECT_TRUE(saw_self);
+}
+
+TEST(Profiler, SpansAreThreadSafeUnderOpenMp) {
+  Profiler& prof = Profiler::instance();
+  prof.reset();
+  constexpr int kIters = 400;
+  {
+    ProfilerSession session;
+#pragma omp parallel for num_threads(4)
+    for (int i = 0; i < kIters; ++i) {
+      TTDC_PROF_SCOPE("omp.outer");
+      {
+        TTDC_PROF_SCOPE("omp.inner");
+      }
+    }
+  }
+  std::uint64_t outer_calls = 0, inner_calls = 0;
+  for (const auto& s : prof.span_samples()) {
+    if (s.name == "omp.outer") outer_calls += s.calls;
+    if (s.name == "omp.inner") inner_calls += s.calls;
+  }
+  EXPECT_EQ(outer_calls, static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(inner_calls, static_cast<std::uint64_t>(kIters));
 }
 
 // ---------------------------------------------------------------------------
