@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Crash-resilience gate: prove that a campaign SIGKILLed mid-flight resumes
+# from its checkpoint journal to a final aggregate BYTE-IDENTICAL to an
+# uninterrupted run's (DESIGN.md §12).
+#
+# Sequence:
+#   1. run the reference campaign (no journal) -> ref.json;
+#   2. start the identical campaign with --journal, SIGKILL it mid-flight
+#      (several attempts with growing delays, so both fast and slow runners
+#      actually catch it with cells still outstanding);
+#   3. rerun the identical command: journaled cells restore, the rest rerun;
+#   4. `cmp` the aggregates — bytes, not semantics.
+#
+# Exit 0 only if the resumed aggregate is byte-identical. The journal and
+# both JSON files are left in the scratch dir for upload on failure.
+#
+# Usage: scripts/ci_crash_resilience.sh [build-dir] [scratch-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+scratch="${2:-$(mktemp -d)}"
+mkdir -p "$scratch"
+
+campaign="$build_dir/tools/ttdc-campaign"
+[ -x "$campaign" ] || { echo "missing $campaign (build the tools target)" >&2; exit 1; }
+
+# Big enough that a mid-flight kill is catchable, small enough for CI.
+args=(--cells 12 --slots 60000 --rows 6 --cols 6 --rate 0.01 --seed 7
+      --fault-intensity 1.0 --workers 2)
+journal="$scratch/campaign.journal"
+
+echo "== reference run (uninterrupted, no journal) =="
+"$campaign" "${args[@]}" --out "$scratch/ref.json"
+
+# Kill mid-flight. The exact timing is load-dependent, so retry with
+# growing delays until the journal comes up short of the full cell count
+# (header + 12 lines = complete). A kill that lands after completion just
+# means "try again sooner was impossible"; a complete journal still
+# exercises the resume path, so after the last attempt we proceed anyway.
+killed_partial=0
+for delay in 0.15 0.25 0.4 0.6; do
+  rm -f "$journal"
+  "$campaign" "${args[@]}" --journal "$journal" --out "$scratch/killed.json" &
+  pid=$!
+  sleep "$delay"
+  if kill -KILL "$pid" 2>/dev/null; then
+    wait "$pid" 2>/dev/null || true
+    lines=$(wc -l < "$journal" 2>/dev/null || echo 0)
+    echo "SIGKILL after ${delay}s: journal has $lines line(s)"
+    if [ "$lines" -gt 0 ] && [ "$lines" -lt 13 ]; then
+      killed_partial=1
+      break
+    fi
+  else
+    wait "$pid" 2>/dev/null || true
+    echo "campaign finished before the ${delay}s kill"
+  fi
+done
+[ "$killed_partial" -eq 1 ] || echo "WARNING: no partial kill landed; testing full-journal resume"
+
+echo "== resumed run =="
+"$campaign" "${args[@]}" --journal "$journal" --out "$scratch/resumed.json"
+
+if cmp "$scratch/ref.json" "$scratch/resumed.json"; then
+  echo "PASS: resumed aggregate is byte-identical to the uninterrupted run"
+  echo "scratch: $scratch"
+else
+  echo "FAIL: resumed aggregate differs from the uninterrupted run" >&2
+  echo "artifacts left in $scratch (ref.json, resumed.json, campaign.journal)" >&2
+  exit 1
+fi

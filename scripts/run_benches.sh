@@ -13,8 +13,9 @@
 # the bench exits; logs are replayed in the binaries' name order, so the
 # combined output is stable regardless of completion order.
 #
-# --perf-check: runs only the perf-gated benches (bench_sim_hotpath and
-# bench_campaign) and compares them against the committed baselines
+# --perf-check: runs only the perf-gated benches (bench_sim_hotpath,
+# bench_campaign, bench_fault_resilience) and compares them against the
+# committed baselines
 # (bench/baselines/), failing on a >25% regression of any *_speedup metric.
 # The speedups are gated because the paired measurement cancels machine
 # load and clock drift; absolute slots/sec are printed for context but not
@@ -36,6 +37,37 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 bench_dir="${TTDC_BENCH_DIR:-$repo_root}"
 export TTDC_BENCH_DIR="$bench_dir"
+
+scratch=""
+
+# Archive whatever reports exist under bench/history/<git-sha>/ so
+# scripts/bench_trend.py can chart metric drift across commits. Runs from an
+# EXIT trap: a bench that crashes the script (or a ctrl-C) still archives the
+# reports of everything that DID finish — a partial run's numbers are worth
+# keeping, losing them silently is not. A dirty tree gets a "-dirty" suffix
+# (the numbers don't belong to the clean sha).
+archive_reports() {
+  trap_status=$?
+  [ -n "$scratch" ] && rm -rf "$scratch"
+  if ! ls "$bench_dir"/BENCH_*.json >/dev/null 2>&1; then
+    return 0
+  fi
+  if sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null)"; then
+    if ! git -C "$repo_root" diff --quiet 2>/dev/null; then
+      sha="${sha}-dirty"
+    fi
+    history_dir="$repo_root/bench/history/$sha"
+    mkdir -p "$history_dir"
+    cp "$bench_dir"/BENCH_*.json "$history_dir/" 2>/dev/null || true
+    if [ "$trap_status" -eq 0 ]; then
+      echo "archived reports to bench/history/$sha/"
+    else
+      echo "archived PARTIAL reports to bench/history/$sha/ (run exited $trap_status)"
+    fi
+  fi
+  return 0
+}
+trap archive_reports EXIT
 
 cmake -B "$build_dir" -S "$repo_root"
 
@@ -81,9 +113,10 @@ EOF
 }
 
 if [ "$perf_check" -eq 1 ]; then
-  cmake --build "$build_dir" -j "$(nproc)" --target bench_sim_hotpath bench_campaign
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_sim_hotpath bench_campaign \
+    bench_fault_resilience
   status=0
-  for spec in "bench_sim_hotpath:" "bench_campaign:--perf-check"; do
+  for spec in "bench_sim_hotpath:" "bench_campaign:--perf-check" "bench_fault_resilience:"; do
     name="${spec%%:*}"
     flag="${spec#*:}"
     echo "=== $name (perf check) ==="
@@ -128,7 +161,6 @@ if [ "$jobs" -le 1 ]; then
   done
 else
   scratch="$(mktemp -d)"
-  trap 'rm -rf "$scratch"' EXIT
   for bin in "${bins[@]}"; do
     name="$(basename "$bin")"
     mkdir -p "$scratch/$name"
@@ -172,16 +204,6 @@ echo
 echo "ran ${#bins[@]} benches; reports in $bench_dir:"
 ls -1 "$bench_dir"/BENCH_*.json 2>/dev/null || true
 
-# Archive this run's reports under bench/history/<git-sha>/ so
-# scripts/bench_trend.py can chart metric drift across commits. A dirty
-# tree gets a "-dirty" suffix (the numbers don't belong to the clean sha).
-if sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null)"; then
-  if ! git -C "$repo_root" diff --quiet 2>/dev/null; then
-    sha="${sha}-dirty"
-  fi
-  history_dir="$repo_root/bench/history/$sha"
-  mkdir -p "$history_dir"
-  cp "$bench_dir"/BENCH_*.json "$history_dir/" 2>/dev/null || true
-  echo "archived reports to bench/history/$sha/"
-fi
+# The EXIT trap (archive_reports) copies this run's reports into
+# bench/history/<git-sha>/ — including on failure paths above.
 exit "$status"

@@ -22,6 +22,10 @@ constexpr std::array<FlightEvent::Kind, FlightEvent::kNumKinds> kAllFlightKinds 
     FlightEvent::Kind::kChannelLoss,    FlightEvent::Kind::kSyncLoss,
     FlightEvent::Kind::kHopDelivered,   FlightEvent::Kind::kDelivered,
     FlightEvent::Kind::kDropped,        FlightEvent::Kind::kExpired,
+    FlightEvent::Kind::kBurstLoss,      FlightEvent::Kind::kDriftLoss,
+    FlightEvent::Kind::kFaultCrash,     FlightEvent::Kind::kFaultRecover,
+    FlightEvent::Kind::kFaultBatterySpike,
+    FlightEvent::Kind::kFaultJamStart,  FlightEvent::Kind::kFaultJamEnd,
 };
 
 // Flat one-line objects with known keys, so targeted field extraction is
@@ -61,6 +65,8 @@ bool is_tx_outcome(FlightEvent::Kind kind) {
     case FlightEvent::Kind::kReceiverAsleep:
     case FlightEvent::Kind::kChannelLoss:
     case FlightEvent::Kind::kSyncLoss:
+    case FlightEvent::Kind::kBurstLoss:
+    case FlightEvent::Kind::kDriftLoss:
     case FlightEvent::Kind::kHopDelivered:
     case FlightEvent::Kind::kDelivered:
       return true;
@@ -163,6 +169,9 @@ FlightParseResult read_flight_jsonl_file(const std::string& path) {
 FlightLog::FlightLog(std::vector<FlightEvent> events) : events_(std::move(events)) {
   std::map<std::uint64_t, PacketHistory> by_packet;
   for (const FlightEvent& e : events_) {
+    // Fault instants carry the kNoPacket sentinel: they belong to node
+    // timelines, not to any packet history.
+    if (e.packet_id == FlightEvent::kNoPacket) continue;
     PacketHistory& h = by_packet[e.packet_id];
     if (h.events.empty()) {
       h.packet_id = e.packet_id;

@@ -50,10 +50,27 @@ struct FlightEvent {
                       // aux = end-to-end latency in slots
     kDropped,         // queue-full drop: node = dropping node, peer = origin
     kExpired,         // unroutable drop: node = dropping node, peer = origin
+    // Per-transmission losses injected by an armed FaultPlan
+    // (sim/fault.hpp); packet-scoped like the other outcomes above.
+    kBurstLoss,       // Gilbert-Elliott bad-state loss: node = intended
+                      // receiver, peer = transmitter
+    kDriftLoss,       // clock-drift misalignment: node = intended receiver,
+                      // peer = transmitter
+    // World-fault instants injected by the FaultPlan. Not packet-scoped:
+    // packet_id is kNoPacket and they are excluded from per-packet
+    // histories, but they appear in node timelines so a post-mortem lines
+    // faults up against the packet record ("node 17 crashed at 39.8k").
+    kFaultCrash,         // node = crashed node
+    kFaultRecover,       // node = recovered node; aux = downtime in slots
+    kFaultBatterySpike,  // node = drained node; aux = whole mJ drained
+    kFaultJamStart,      // node = jammer
+    kFaultJamEnd,        // node = jammer
   };
   static constexpr std::size_t kMaxInterferers = 6;
   static constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
-  static constexpr std::size_t kNumKinds = 12;
+  /// packet_id sentinel for events not tied to any packet (fault instants).
+  static constexpr std::uint64_t kNoPacket = ~std::uint64_t{0};
+  static constexpr std::size_t kNumKinds = 19;
 
   std::uint64_t slot = 0;
   std::uint64_t packet_id = 0;
@@ -161,6 +178,13 @@ class FlightRecorder {
     case FlightEvent::Kind::kDelivered: return "delivered";
     case FlightEvent::Kind::kDropped: return "dropped";
     case FlightEvent::Kind::kExpired: return "expired";
+    case FlightEvent::Kind::kBurstLoss: return "burst_loss";
+    case FlightEvent::Kind::kDriftLoss: return "drift_loss";
+    case FlightEvent::Kind::kFaultCrash: return "fault_crash";
+    case FlightEvent::Kind::kFaultRecover: return "fault_recover";
+    case FlightEvent::Kind::kFaultBatterySpike: return "fault_battery_spike";
+    case FlightEvent::Kind::kFaultJamStart: return "fault_jam_start";
+    case FlightEvent::Kind::kFaultJamEnd: return "fault_jam_end";
   }
   return "unknown";
 }

@@ -1,22 +1,60 @@
 #include "runner/cache.hpp"
 
 #include "obs/profile.hpp"
+#include "util/hash.hpp"
 
 namespace ttdc::runner {
+
+namespace {
+
+/// Content digest of a schedule: frame shape plus every slot's transmitter
+/// and receiver word storage. Any flipped bit anywhere changes the digest.
+std::uint64_t schedule_checksum(const core::Schedule& s) {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  h = util::fnv1a64_u64(s.num_nodes(), h);
+  h = util::fnv1a64_u64(s.frame_length(), h);
+  for (std::size_t slot = 0; slot < s.frame_length(); ++slot) {
+    for (const auto w : s.transmitters(slot).words()) h = util::fnv1a64_u64(w, h);
+    for (const auto w : s.receivers(slot).words()) h = util::fnv1a64_u64(w, h);
+  }
+  return h;
+}
+
+}  // namespace
 
 std::shared_ptr<const core::Schedule> ArtifactStore::schedule(
     const std::string& key, const std::function<core::Schedule()>& build) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = schedules_.find(key);
   if (it != schedules_.end()) {
-    ++hits_;
-    return it->second;
+    if (schedule_checksum(*it->second.schedule) == it->second.checksum) {
+      ++hits_;
+      return it->second.schedule;
+    }
+    // The cached artifact no longer matches the digest taken at build time:
+    // something scribbled on it (or on the digest). Serving it would poison
+    // every downstream cell, so rebuild from the recipe instead.
+    ++corruption_rebuilds_;
+    schedules_.erase(it);
   }
   ++misses_;
   TTDC_PROF_SCOPE("runner.artifacts.build_schedule");
   auto built = std::make_shared<const core::Schedule>(build());
-  schedules_.emplace(key, built);
+  schedules_.emplace(key, ScheduleEntry{built, schedule_checksum(*built)});
   return built;
+}
+
+std::uint64_t ArtifactStore::corruption_rebuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corruption_rebuilds_;
+}
+
+bool ArtifactStore::debug_corrupt_schedule(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = schedules_.find(key);
+  if (it == schedules_.end()) return false;
+  it->second.checksum = ~it->second.checksum;
+  return true;
 }
 
 std::shared_ptr<const net::RoutingTable> ArtifactStore::routing(const net::Graph& graph) {

@@ -68,6 +68,16 @@ class ArtifactStore {
   [[nodiscard]] std::uint64_t hits() const;
   [[nodiscard]] std::uint64_t misses() const;
 
+  /// Cached schedules that failed their content checksum on a hit and were
+  /// rebuilt from the recipe (0 on any healthy run: in-memory corruption is
+  /// detected, counted, and healed — never served).
+  [[nodiscard]] std::uint64_t corruption_rebuilds() const;
+
+  /// Test hook: invalidates the stored checksum of `key`'s schedule so the
+  /// next hit takes the corruption-rebuild path. Returns false if the key
+  /// is not cached.
+  bool debug_corrupt_schedule(const std::string& key);
+
  private:
   // A routing entry owns the graph copy its table points into; the pair is
   // heap-pinned so the Graph's address never moves after the table binds.
@@ -79,10 +89,19 @@ class ArtifactStore {
     net::RoutingTable table;
   };
 
+  // A schedule entry pairs the artifact with a checksum of its full content
+  // (frame shape + every slot's transmitter/receiver words), taken at build
+  // time and re-verified on every hit.
+  struct ScheduleEntry {
+    std::shared_ptr<const core::Schedule> schedule;
+    std::uint64_t checksum = 0;
+  };
+
   mutable std::mutex mu_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
-  std::map<std::string, std::shared_ptr<const core::Schedule>> schedules_;
+  std::uint64_t corruption_rebuilds_ = 0;
+  std::map<std::string, ScheduleEntry> schedules_;
   // Hash -> entries with that digest (chained in case of collisions; each
   // candidate is verified against the full adjacency before reuse).
   std::map<std::uint64_t, std::vector<std::shared_ptr<RoutingEntry>>> routings_;

@@ -1,9 +1,12 @@
 #include "runner/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "obs/flight_query.hpp"
 #include "obs/profile.hpp"
@@ -13,6 +16,13 @@
 #include "util/timer.hpp"
 
 namespace ttdc::runner {
+
+void CellContext::check_deadline() const {
+  if (deadline_exceeded()) {
+    throw CellTimeout("cell '" + name_ + "' exceeded its " +
+                      std::to_string(deadline_seconds_) + "s watchdog budget");
+  }
+}
 
 Campaign::Campaign(CampaignOptions options)
     : options_(std::move(options)), artifacts_(std::make_unique<ArtifactStore>()) {}
@@ -35,8 +45,7 @@ int Campaign::resolved_workers() const {
   return util::hardware_parallelism();
 }
 
-void Campaign::run_cell(std::size_t index, CellContext& ctx) {
-  TTDC_PROF_SCOPE("runner.run_cell");
+void Campaign::execute_cell_body(std::size_t index, CellContext& ctx) {
   ctx.index_ = index;
   ctx.name_ = cells_[index].name;
   ctx.seed_ = seeds_[index];
@@ -46,7 +55,115 @@ void Campaign::run_cell(std::size_t index, CellContext& ctx) {
     ctx.flight_ =
         std::make_unique<obs::FlightRecorder>(options_.flight_capture->ring_capacity);
   }
+  if (options_.resilience) {
+    ctx.deadline_seconds_ = options_.resilience->cell_timeout_seconds;
+  }
+  ctx.attempt_timer_.restart();
   cells_[index].fn(ctx);
+}
+
+void Campaign::run_cell(std::size_t index, CellContext& ctx) {
+  TTDC_PROF_SCOPE("runner.run_cell");
+  if (ctx.done_) return;  // restored from the journal
+  if (!options_.resilience) {
+    // Fail-fast legacy path: exceptions propagate out of the run.
+    execute_cell_body(index, ctx);
+    return;
+  }
+  run_cell_resilient(index, ctx);
+  if (journal_) {
+    JournalEntry entry;
+    entry.index = index;
+    entry.attempts = ctx.attempts_;
+    entry.quarantined = ctx.quarantined_;
+    entry.error = ctx.error_;
+    entry.stats = ctx.stats_;
+    entry.metrics = ctx.metrics_out_;
+    journal_->append(entry);
+  }
+}
+
+void Campaign::run_cell_resilient(std::size_t index, CellContext& ctx) {
+  const ResilienceOptions& res = *options_.resilience;
+  const int max_attempts = std::max(1, res.max_attempts);
+  const auto quarantine = [&](const std::string& why) {
+    // Discard any half-built contribution: a quarantined cell must be
+    // absent from the aggregate entirely (and flagged), never half-counted.
+    ctx.stats_ = sim::SimStats{};
+    ctx.metrics_out_.clear();
+    ctx.trace_.clear();
+    ctx.quarantined_ = true;
+    ctx.error_ = why;
+  };
+  for (int attempt = 1;; ++attempt) {
+    // A fresh context per attempt: retries replay the cell's derived seed
+    // against clean accumulators, so a successful retry is bit-identical
+    // to a first-try success.
+    ctx = CellContext{};
+    ctx.attempts_ = static_cast<std::uint32_t>(attempt);
+    try {
+      execute_cell_body(index, ctx);
+      if (ctx.deadline_exceeded()) {
+        quarantine("cell '" + cells_[index].name + "' exceeded its " +
+                   std::to_string(res.cell_timeout_seconds) + "s watchdog budget");
+      }
+      return;
+    } catch (const CellTimeout& e) {
+      // Deterministic cells time out deterministically; retrying would
+      // only burn another budget. Straight to quarantine.
+      quarantine(e.what());
+      return;
+    } catch (const std::exception& e) {
+      if (attempt >= max_attempts) {
+        quarantine(e.what());
+        return;
+      }
+    } catch (...) {
+      if (attempt >= max_attempts) {
+        quarantine("unknown error");
+        return;
+      }
+    }
+    // Exponential backoff before the retry (wall-clock only; results are
+    // unaffected by how long we waited).
+    const double delay = std::min(res.backoff_base_seconds * static_cast<double>(1 << (attempt - 1)),
+                                  res.backoff_max_seconds);
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+}
+
+JournalIdentity Campaign::identity() const {
+  std::vector<std::string> names;
+  names.reserve(cells_.size());
+  for (const Cell& c : cells_) names.push_back(c.name);
+  return JournalIdentity{options_.master_seed, cells_.size(), names_digest(names)};
+}
+
+void Campaign::prepare_journal(std::vector<CellContext>& contexts) {
+  journal_.reset();
+  if (!options_.resilience || options_.resilience->journal_path.empty()) return;
+  const JournalIdentity id = identity();
+  CampaignJournal::LoadResult prior;
+  if (options_.resilience->resume) {
+    prior = CampaignJournal::load(options_.resilience->journal_path, id);
+  }
+  // Open (and rewrite the valid prefix of) the journal BEFORE consuming the
+  // loaded entries — the rewrite is what truncates a SIGKILL-torn tail.
+  journal_ = std::make_unique<CampaignJournal>(options_.resilience->journal_path, id, prior);
+  for (auto& [index, entry] : prior.entries) {
+    CellContext& ctx = contexts[index];
+    ctx.index_ = index;
+    ctx.name_ = cells_[index].name;
+    ctx.seed_ = seeds_[index];
+    ctx.stats_ = std::move(entry.stats);
+    ctx.metrics_out_ = std::move(entry.metrics);
+    ctx.attempts_ = entry.attempts;
+    ctx.quarantined_ = entry.quarantined;
+    ctx.error_ = std::move(entry.error);
+    ctx.done_ = true;
+  }
 }
 
 namespace {
@@ -88,10 +205,18 @@ CampaignResult Campaign::merge(std::vector<CellContext>& contexts, double elapse
   result.workers = workers;
   result.cells.reserve(contexts.size());
   for (auto& ctx : contexts) {
-    // Fixed fold order (cell index) regardless of completion order: this is
-    // what makes the double-summed aggregates bit-identical across worker
-    // counts.
-    result.aggregate.merge(ctx.stats_);
+    if (ctx.done_) ++result.resumed_cells;
+    if (ctx.quarantined_) {
+      // A quarantined cell contributes NOTHING to the aggregate; the
+      // aggregate is flagged partial instead of being silently smaller.
+      result.quarantined.push_back(ctx.index_);
+      result.aggregate.partial = true;
+    } else {
+      // Fixed fold order (cell index) regardless of completion order: this
+      // is what makes the double-summed aggregates bit-identical across
+      // worker counts.
+      result.aggregate.merge(ctx.stats_);
+    }
     if (options_.trace) {
       for (const auto& e : ctx.trace_) options_.trace(e);
     }
@@ -113,8 +238,15 @@ CampaignResult Campaign::merge(std::vector<CellContext>& contexts, double elapse
         }
       }
     }
-    result.cells.push_back(
-        CellResult{std::move(ctx.name_), std::move(ctx.stats_), std::move(ctx.metrics_out_)});
+    CellResult cell;
+    cell.name = std::move(ctx.name_);
+    cell.stats = std::move(ctx.stats_);
+    cell.metrics = std::move(ctx.metrics_out_);
+    cell.attempts = ctx.attempts_;
+    cell.quarantined = ctx.quarantined_;
+    cell.error = std::move(ctx.error_);
+    cell.resumed = ctx.done_;
+    result.cells.push_back(std::move(cell));
   }
   return result;
 }
@@ -123,6 +255,7 @@ CampaignResult Campaign::run() {
   const int workers = resolved_workers();
   util::Timer timer;
   std::vector<CellContext> contexts(cells_.size());
+  prepare_journal(contexts);
   std::atomic<std::size_t> next{0};
   util::parallel_workers(workers, [&](std::size_t) {
     for (;;) {
@@ -137,6 +270,7 @@ CampaignResult Campaign::run() {
 CampaignResult Campaign::run_serial() {
   util::Timer timer;
   std::vector<CellContext> contexts(cells_.size());
+  prepare_journal(contexts);
   for (std::size_t i = 0; i < contexts.size(); ++i) run_cell(i, contexts[i]);
   return merge(contexts, timer.seconds(), 1);
 }
@@ -169,10 +303,21 @@ std::string CampaignResult::aggregate_json() const {
   } else {
     os << a.first_death_slot;
   }
-  os << ",\"latency\":{\"count\":" << a.latency.count()
+  os << ",\"fault_crashes\":" << a.fault_crashes
+     << ",\"fault_recoveries\":" << a.fault_recoveries
+     << ",\"fault_battery_spikes\":" << a.fault_battery_spikes
+     << ",\"fault_jam_bursts\":" << a.fault_jam_bursts
+     << ",\"burst_losses\":" << a.burst_losses << ",\"drift_losses\":" << a.drift_losses
+     << ",\"partial\":" << (a.partial ? "true" : "false")
+     << ",\"latency\":{\"count\":" << a.latency.count()
      << ",\"mean\":" << obs::json_scalar(a.latency.mean())
      << ",\"p50\":" << a.latency.percentile(50) << ",\"p95\":" << a.latency.percentile(95)
-     << ",\"max\":" << a.latency.max() << "}}}";
+     << ",\"max\":" << a.latency.max() << "}},\"quarantined\":[";
+  for (std::size_t i = 0; i < quarantined.size(); ++i) {
+    if (i != 0) os << ',';
+    os << quarantined[i];
+  }
+  os << "]}";
   return os.str();
 }
 

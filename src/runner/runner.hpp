@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,12 +37,22 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "runner/cache.hpp"
+#include "runner/journal.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "util/timer.hpp"
 
 namespace ttdc::runner {
 
 class Campaign;
+
+/// Thrown by CellContext::check_deadline() when a cell exhausts its
+/// wall-clock budget; the runner quarantines the cell WITHOUT retrying (a
+/// deterministic cell would only time out again).
+class CellTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Per-cell execution context, handed to the cell body. Everything a cell
 /// reads from it is either immutable for the campaign's duration
@@ -94,6 +105,21 @@ class CellContext {
   /// discipline as trace_fn: nothing shared, nothing interleaved).
   [[nodiscard]] obs::FlightRecorder* flight_recorder() const { return flight_.get(); }
 
+  /// Which attempt this execution is (1 on the first try; retries replay
+  /// the SAME seed, so a successful retry is bit-identical to a first-try
+  /// success).
+  [[nodiscard]] std::uint32_t attempt() const { return attempts_; }
+
+  /// Watchdog probes (always false / no-op without a cell timeout). The
+  /// watchdog is cooperative: long-running cell bodies call
+  /// check_deadline() between simulation chunks; the runner additionally
+  /// checks the budget after the body returns.
+  [[nodiscard]] bool deadline_exceeded() const {
+    return deadline_seconds_ > 0.0 && attempt_timer_.seconds() > deadline_seconds_;
+  }
+  /// Throws CellTimeout once the budget is exhausted.
+  void check_deadline() const;
+
  private:
   friend class Campaign;
   std::size_t index_ = 0;
@@ -105,6 +131,13 @@ class CellContext {
   std::vector<std::pair<std::string, double>> metrics_out_;
   std::vector<sim::TraceEvent> trace_;
   std::unique_ptr<obs::FlightRecorder> flight_;
+  // Resilience bookkeeping (owned by the runner, read-only to cell bodies).
+  std::uint32_t attempts_ = 1;
+  bool quarantined_ = false;
+  bool done_ = false;  ///< set when resumed from a journal: skip execution
+  std::string error_;
+  double deadline_seconds_ = 0.0;
+  util::Timer attempt_timer_;
 };
 
 using CellFn = std::function<void(CellContext&)>;
@@ -114,6 +147,16 @@ struct CellResult {
   std::string name;
   sim::SimStats stats;
   std::vector<std::pair<std::string, double>> metrics;
+  /// Attempts consumed (1 = first try succeeded; > 1 = retried).
+  std::uint32_t attempts = 1;
+  /// True when the cell exhausted its retries or timed out: its stats are
+  /// EXCLUDED from the aggregate and the aggregate is flagged partial.
+  bool quarantined = false;
+  /// The final failure, when quarantined.
+  std::string error;
+  /// True when this cell was restored from the campaign journal instead of
+  /// executing.
+  bool resumed = false;
 };
 
 /// One outlier cell's captured flight ring, dumped at the join barrier.
@@ -126,9 +169,15 @@ struct FlightDump {
 };
 
 struct CampaignResult {
-  /// All cells' SimStats merged in cell-index order.
+  /// All non-quarantined cells' SimStats merged in cell-index order. When
+  /// any cell is quarantined, aggregate.partial is true — a degraded
+  /// campaign is explicitly flagged, never silently smaller.
   sim::SimStats aggregate;
   std::vector<CellResult> cells;
+  /// Indices of quarantined cells (empty on a clean run).
+  std::vector<std::size_t> quarantined;
+  /// Cells restored from the journal instead of executing.
+  std::size_t resumed_cells = 0;
   /// Flight rings dumped for outlier cells (cell-index order, capped at
   /// FlightCaptureOptions::max_dumps). Empty when capture is off or no
   /// cell tripped a trigger.
@@ -163,10 +212,41 @@ struct FlightCaptureOptions {
   std::size_t max_dumps = 4;
 };
 
+/// Harness resilience: retries, watchdog, quarantine, checkpoint journal.
+/// All off by default — a campaign without ResilienceOptions behaves
+/// exactly as before.
+struct ResilienceOptions {
+  /// Maximum executions per cell (1 = fail immediately). A failed attempt
+  /// is retried with the SAME derived seed, so a flaky-environment failure
+  /// (OOM kill recovered, filesystem hiccup) reruns bit-identically; after
+  /// the last attempt the cell is quarantined.
+  int max_attempts = 3;
+  /// Backoff before retry k is `backoff_base_seconds * 2^(k-1)` (capped at
+  /// backoff_max_seconds). Wall-clock only; never affects results.
+  double backoff_base_seconds = 0.01;
+  double backoff_max_seconds = 1.0;
+  /// Per-cell wall-clock watchdog; 0 disables. Cooperative
+  /// (CellContext::check_deadline) plus a post-hoc check when the body
+  /// returns. A timed-out cell is quarantined WITHOUT retry. Wall-clock
+  /// dependent — keep it out of campaigns gated on bit-identity.
+  double cell_timeout_seconds = 0.0;
+  /// Checkpoint journal path; empty disables journaling. Every completed
+  /// (or quarantined) cell appends one checksummed line; see journal.hpp.
+  std::string journal_path;
+  /// When true and journal_path holds a journal matching this campaign's
+  /// identity, its cells are restored instead of executed — kill-and-resume
+  /// with a bit-identical final aggregate. When false the journal is
+  /// overwritten.
+  bool resume = true;
+};
+
 struct CampaignOptions {
   /// Master seed; cell i derives its own via SplitMix64 (see
   /// CellContext::seed).
   std::uint64_t master_seed = 0x5eed;
+  /// Retry / watchdog / quarantine / checkpoint-resume behavior; absent =
+  /// fail-fast (any cell exception propagates), no journal.
+  std::optional<ResilienceOptions> resilience;
   /// When set, arms per-cell flight recorders and dumps outlier cells'
   /// rings at the barrier (see FlightCaptureOptions).
   std::optional<FlightCaptureOptions> flight_capture;
@@ -210,6 +290,12 @@ class Campaign {
   };
 
   void run_cell(std::size_t index, CellContext& ctx);
+  void run_cell_resilient(std::size_t index, CellContext& ctx);
+  void execute_cell_body(std::size_t index, CellContext& ctx);
+  /// Restores journaled cells into `contexts` and opens the journal for
+  /// appending (no-op without ResilienceOptions::journal_path).
+  void prepare_journal(std::vector<CellContext>& contexts);
+  [[nodiscard]] JournalIdentity identity() const;
   CampaignResult merge(std::vector<CellContext>& contexts, double elapsed, int workers);
 
   CampaignOptions options_;
@@ -218,6 +304,8 @@ class Campaign {
   // Heap-pinned (ArtifactStore owns a mutex and is immovable) so Campaign
   // itself stays movable and cells' cached &artifacts() stay valid.
   std::unique_ptr<ArtifactStore> artifacts_;
+  // Live checkpoint journal for the current run (heap-pinned: owns a mutex).
+  std::unique_ptr<CampaignJournal> journal_;
 };
 
 }  // namespace ttdc::runner

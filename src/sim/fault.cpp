@@ -1,0 +1,183 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace ttdc::sim {
+
+namespace {
+
+// Child-seed domains, one per fault class, so changing the parameters of
+// one class never shifts another's draws (a jammer count tweak must not
+// reshuffle the crash schedule).
+constexpr std::uint64_t kDomainCrash = 0x66c5a1;
+constexpr std::uint64_t kDomainSpike = 0x5b1c3;
+constexpr std::uint64_t kDomainJam = 0x7a33;
+constexpr std::uint64_t kDomainDrift = 0xd21f7;
+constexpr std::uint64_t kDomainLink = 0x119caa;
+
+std::uint64_t child_seed(std::uint64_t seed, std::uint64_t domain, std::uint64_t key) {
+  return util::mix64(util::mix64(seed ^ domain) ^ key);
+}
+
+/// Geometric inter-arrival gap (>= 1 slot) for a per-slot hazard p: the
+/// number of slots until the next success of a Bernoulli(p) process.
+/// Inverse-CDF sampling keeps it one uniform draw per event instead of one
+/// per slot, so plan generation is O(events), not O(horizon).
+std::uint64_t geometric_gap(util::Xoshiro256& rng, double p) {
+  TTDC_ASSERT(p > 0.0 && p <= 1.0, "geometric hazard out of range: ", p);
+  if (p >= 1.0) return 1;
+  const double u = rng.uniform01();
+  const double gap = std::floor(std::log1p(-u) / std::log1p(-p));
+  if (gap >= 1e18) return static_cast<std::uint64_t>(1e18);
+  return 1 + static_cast<std::uint64_t>(gap);
+}
+
+/// Geometric downtime with the given mean (>= 1 slot).
+std::uint64_t geometric_duration(util::Xoshiro256& rng, double mean) {
+  if (mean <= 1.0) return 1;
+  return geometric_gap(rng, 1.0 / mean);
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kRecover: return "recover";
+    case FaultEvent::Kind::kBatterySpike: return "battery_spike";
+    case FaultEvent::Kind::kJamStart: return "jam_start";
+    case FaultEvent::Kind::kJamEnd: return "jam_end";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig& config, std::size_t num_nodes,
+                     std::uint64_t seed)
+    : config_(config), num_nodes_(num_nodes),
+      link_stream_seed_(child_seed(seed, kDomainLink, 0)) {
+  const std::uint64_t horizon = config.horizon_slots;
+
+  // Crash / recover: per node, alternate geometric uptime (hazard
+  // crash_rate) and geometric downtime (mean mean_downtime_slots). A node
+  // still down at the horizon simply never recovers in-plan.
+  if (config.crash_rate > 0.0 && horizon > 0) {
+    const double mean_down = std::max(1.0, config.mean_downtime_slots);
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      util::Xoshiro256 rng(child_seed(seed, kDomainCrash, v));
+      std::uint64_t t = 0;
+      for (;;) {
+        const std::uint64_t up = geometric_gap(rng, config.crash_rate);
+        if (horizon - t < up) break;  // overflow-safe: up > remaining
+        t += up;
+        events_.push_back({t, v, 0.0, FaultEvent::Kind::kCrash});
+        const std::uint64_t down = geometric_duration(rng, mean_down);
+        if (horizon - t < down) break;
+        t += down;
+        events_.push_back({t, v, 0.0, FaultEvent::Kind::kRecover});
+      }
+    }
+  }
+
+  // Battery-drain spikes: per node, geometric gaps at battery_spike_rate.
+  if (config.battery_spike_rate > 0.0 && config.battery_spike_mj > 0.0 && horizon > 0) {
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      util::Xoshiro256 rng(child_seed(seed, kDomainSpike, v));
+      std::uint64_t t = 0;
+      for (;;) {
+        const std::uint64_t gap = geometric_gap(rng, config.battery_spike_rate);
+        if (horizon - t < gap) break;
+        t += gap;
+        events_.push_back({t, v, config.battery_spike_mj, FaultEvent::Kind::kBatterySpike});
+      }
+    }
+  }
+
+  // Jammers: num_jammers distinct nodes; each alternates geometric off-time
+  // (sized so the long-run jammed fraction is jam_duty) with a fixed-length
+  // jam burst.
+  if (config.num_jammers > 0 && config.jam_duty > 0.0 && config.jam_burst_slots > 0 &&
+      horizon > 0) {
+    const double duty = std::min(config.jam_duty, 0.99);
+    const double burst = static_cast<double>(config.jam_burst_slots);
+    const double mean_off = std::max(1.0, burst * (1.0 - duty) / duty);
+    util::Xoshiro256 pick(child_seed(seed, kDomainJam, ~std::uint64_t{0}));
+    const auto jammers =
+        util::sample_k_of(num_nodes, std::min(config.num_jammers, num_nodes), pick);
+    for (const std::size_t v : jammers) {
+      util::Xoshiro256 rng(child_seed(seed, kDomainJam, v));
+      std::uint64_t t = 0;
+      for (;;) {
+        const std::uint64_t off = geometric_duration(rng, mean_off);
+        if (horizon - t < off) break;
+        t += off;
+        events_.push_back({t, v, 0.0, FaultEvent::Kind::kJamStart});
+        if (horizon - t < config.jam_burst_slots) break;
+        t += config.jam_burst_slots;
+        events_.push_back({t, v, 0.0, FaultEvent::Kind::kJamEnd});
+      }
+    }
+  }
+
+  // Drift rates: one uniform draw per node in [-max, +max].
+  if (config.max_drift_per_slot > 0.0) {
+    drift_rates_.resize(num_nodes);
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      util::Xoshiro256 rng(child_seed(seed, kDomainDrift, v));
+      drift_rates_[v] = (2.0 * rng.uniform01() - 1.0) * config.max_drift_per_slot;
+    }
+  }
+
+  sort_events();
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events, std::size_t num_nodes,
+                     FaultPlanConfig config, std::uint64_t seed)
+    : config_(config), num_nodes_(num_nodes),
+      link_stream_seed_(child_seed(seed, kDomainLink, 0)), events_(std::move(events)) {
+  for (const auto& e : events_) {
+    TTDC_ASSERT(e.node < num_nodes_, "fault event node ", e.node, " out of range (n=",
+                num_nodes_, ")");
+  }
+  if (config.max_drift_per_slot > 0.0) {
+    drift_rates_.resize(num_nodes);
+    for (std::size_t v = 0; v < num_nodes; ++v) {
+      util::Xoshiro256 rng(child_seed(seed, kDomainDrift, v));
+      drift_rates_[v] = (2.0 * rng.uniform01() - 1.0) * config.max_drift_per_slot;
+    }
+  }
+  sort_events();
+}
+
+void FaultPlan::sort_events() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.slot != b.slot) return a.slot < b.slot;
+                     if (a.node != b.node) return a.node < b.node;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+}
+
+std::size_t FaultPlan::count(FaultEvent::Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream os;
+  os << "events=" << events_.size() << " crashes=" << count(FaultEvent::Kind::kCrash)
+     << " recoveries=" << count(FaultEvent::Kind::kRecover)
+     << " spikes=" << count(FaultEvent::Kind::kBatterySpike)
+     << " jam_bursts=" << count(FaultEvent::Kind::kJamStart)
+     << " link_loss=" << (has_link_loss() ? "on" : "off")
+     << " drift=" << (has_drift() ? "on" : "off");
+  return os.str();
+}
+
+}  // namespace ttdc::sim

@@ -1,9 +1,12 @@
 #include "sim/simulator.hpp"
 
 #include <bit>
+#include <cmath>
+#include <cstdlib>
 
 #include "obs/profile.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace ttdc::sim {
 
@@ -45,6 +48,23 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
   e_listen_ = config_.energy.energy_mj(RadioState::kListen, 1);
   e_sleep_ = config_.energy.energy_mj(RadioState::kSleep, 1);
   tracing_ = static_cast<bool>(config_.trace);
+  fault_armed_ = config_.fault_plan != nullptr;
+  if (fault_armed_) {
+    TTDC_ASSERT(config_.fault_plan->num_nodes() == n,
+                "fault plan built for ", config_.fault_plan->num_nodes(),
+                " nodes, simulator has ", n);
+    // The per-slot bitset recomputation only runs when the plan actually
+    // schedules world events; an armed-but-empty plan costs one branch per
+    // slot, which is what lets the <2% disarmed-overhead gate hold.
+    fault_world_ = !config_.fault_plan->events().empty();
+    fault_drift_ = config_.fault_plan->has_drift();
+    fault_ge_ = config_.fault_plan->has_link_loss();
+    down_ = util::DynamicBitset(n);
+    jamming_ = util::DynamicBitset(n);
+    jam_active_ = util::DynamicBitset(n);
+    fault_out_ = util::DynamicBitset(n);
+    down_since_.assign(n, 0);
+  }
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& m = *config_.metrics;
     hot_.generated = &m.counter("ttdc_sim_generated_total", "packets generated");
@@ -61,6 +81,19 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
         "ttdc_sim_latency_slots",
         {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384},
         "end-to-end delivery latency in slots");
+    if (fault_armed_) {
+      hot_.fault_crashes = &m.counter("ttdc_sim_fault_crashes_total", "injected node crashes");
+      hot_.fault_recoveries =
+          &m.counter("ttdc_sim_fault_recoveries_total", "injected node recoveries");
+      hot_.fault_battery_spikes =
+          &m.counter("ttdc_sim_fault_battery_spikes_total", "injected battery spikes");
+      hot_.fault_jam_bursts =
+          &m.counter("ttdc_sim_fault_jam_bursts_total", "injected jam bursts");
+      hot_.burst_losses =
+          &m.counter("ttdc_sim_burst_losses_total", "losses to bursty (Gilbert-Elliott) links");
+      hot_.drift_losses =
+          &m.counter("ttdc_sim_drift_losses_total", "losses to clock drift");
+    }
   }
 }
 
@@ -117,6 +150,24 @@ void Simulator::audit_invariants() const {
   }
   TTDC_DCHECK(!transmitting_.intersects(dead_), "a dead node is in the transmitter set");
 
+  // Fault-injection state: crashed nodes never transmit (events apply at
+  // slot start, so unlike battery deaths this cannot race phase 3), jammers
+  // active this slot are a subset of the in-burst set, and the phase-1 skip
+  // set is exactly down | jam_active.
+  if (fault_armed_) {
+    TTDC_DCHECK(!transmitting_.intersects(down_),
+                "a crashed node is in the transmitter set");
+    for (std::size_t v = 0; v < n; ++v) {
+      if (jam_active_.test(v)) {
+        TTDC_DCHECK(jamming_.test(v), "jam_active_ node ", v, " is not in a jam burst");
+      }
+      TTDC_DCHECK(fault_out_.test(v) == (down_.test(v) || jam_active_.test(v)),
+                  "fault_out_ bit for node ", v, " disagrees with down_/jam_active_");
+    }
+    TTDC_DCHECK(fault_cursor_ <= config_.fault_plan->events().size(),
+                "fault cursor ran past the plan");
+  }
+
   // State-slot counters: a node accrues transmit/receive/listen slots only
   // while participating (finalize_sleep_counts() derives sleep from this
   // identity, so underflow here would wrap the sleep counter).
@@ -166,6 +217,7 @@ void Simulator::audit_invariants() const {
 
 void Simulator::inject(std::size_t origin, std::size_t destination) {
   if (dead_.test(origin)) return;  // a dead sensor senses nothing
+  if (fault_world_ && down_.test(origin)) return;  // neither does a crashed one
   ++stats_.generated;
   if (hot_.generated) hot_.generated->inc();
   Packet p;
@@ -192,6 +244,9 @@ void Simulator::step() {
   // The whole flight-recorder cost when disarmed: a null check and (with a
   // recorder installed) one relaxed load, sampled once per slot.
   recording_ = config_.recorder != nullptr && obs::FlightRecorder::enabled();
+  // World faults land before traffic and the MAC see the slot, so a node
+  // that crashes at slot t is already gone when slot t's packets arrive.
+  if (fault_world_) apply_fault_events();
   {
     TTDC_PROF_SCOPE("sim.step.traffic");
     traffic_.generate(now_, rng_, [&](std::size_t o, std::size_t d) { inject(o, d); });
@@ -200,6 +255,11 @@ void Simulator::step() {
 
   if (config_.force_scalar_pipeline) {
     collect_transmissions_scalar();
+    // Jammers join the transmitter set AFTER collection (they carry no
+    // packet, so they never enter tx_nodes_) and BEFORE resolution, where
+    // they collide with any reception in their neighborhood — identically
+    // on both pipelines.
+    if (fault_world_) transmitting_ |= jam_active_;
     resolve_receptions(/*batched=*/false);
     account_energy_scalar(/*receivers=*/nullptr);
   } else {
@@ -208,6 +268,7 @@ void Simulator::step() {
     // for phases 1 and 3 while phase 2 stays word-parallel).
     const bool mac_batched = mac_.fill_slot_sets(receivers_, eligible_);
     collect_transmissions_batched(mac_batched);
+    if (fault_world_) transmitting_ |= jam_active_;
     resolve_receptions(/*batched=*/true);
     if (mac_batched) {
       account_energy_batched();
@@ -229,6 +290,7 @@ void Simulator::collect_transmissions_scalar() {
   transmitting_.reset_all();
   for (std::size_t v = 0; v < n; ++v) {
     if (dead_.test(v)) continue;
+    if (fault_world_ && fault_out_.test(v)) continue;  // down or jamming
     auto& q = queues_[v];
     while (!q.empty()) {
       const std::size_t hop = routing_view_->next_hop(v, q.front().destination);
@@ -282,6 +344,7 @@ void Simulator::collect_transmissions_batched(bool mac_batched) {
     scratch_.copy_from(backlogged_);
   }
   scratch_.subtract(dead_);
+  if (fault_world_) scratch_.subtract(fault_out_);  // down or jamming
   scratch_.for_each([&](std::size_t v) {
     auto& q = queues_[v];
     while (!q.empty()) {
@@ -326,7 +389,8 @@ void Simulator::resolve_receptions(bool batched) {
     const std::size_t x = tx_nodes_[i];
     const std::size_t y = tx_targets_[i];
     const bool receiver_ok = batched ? receivers_.test(y) : mac_.can_receive(y);
-    if (dead_.test(y) || !receiver_ok || transmitting_.test(y)) {
+    if (dead_.test(y) || (fault_world_ && down_.test(y)) || !receiver_ok ||
+        transmitting_.test(y)) {
       ++stats_.receiver_asleep;
       if (hot_.receiver_asleep) hot_.receiver_asleep->inc();
       trace(TraceEvent::Kind::kReceiverAsleep, y, x, queues_[x].front().id);
@@ -354,6 +418,27 @@ void Simulator::resolve_receptions(bool batched) {
       trace(TraceEvent::Kind::kCollision, y, x, queues_[x].front().id);
       if (recording_) record_collision(y, x, queues_[x].front().id);
       continue;
+    }
+    // Injected channel faults, both drawing from plan-derived streams (or
+    // no stream at all) — never from rng_, so arming an empty plan leaves
+    // the run bit-identical to an unarmed one.
+    if (fault_armed_) {
+      if (fault_drift_ && drift_lost(x, y)) {
+        ++stats_.drift_losses;
+        if (hot_.drift_losses) hot_.drift_losses->inc();
+        if (recording_) {
+          record_flight(obs::FlightEvent::Kind::kDriftLoss, y, x, queues_[x].front().id);
+        }
+        continue;
+      }
+      if (fault_ge_ && ge_lost(x, y)) {
+        ++stats_.burst_losses;
+        if (hot_.burst_losses) hot_.burst_losses->inc();
+        if (recording_) {
+          record_flight(obs::FlightEvent::Kind::kBurstLoss, y, x, queues_[x].front().id);
+        }
+        continue;
+      }
     }
     // Channel imperfections: slot misalignment, then fading/noise.
     if (config_.sync_miss_rate > 0.0 && rng_.bernoulli(config_.sync_miss_rate)) {
@@ -456,6 +541,110 @@ void Simulator::kill_node(std::size_t v) {
   stats_.first_death_slot = std::min(stats_.first_death_slot, now_);
 }
 
+void Simulator::apply_fault_events() {
+  const auto& events = config_.fault_plan->events();
+  while (fault_cursor_ < events.size() && events[fault_cursor_].slot <= now_) {
+    apply_fault_event(events[fault_cursor_]);
+    ++fault_cursor_;
+  }
+  // Per-slot derived sets: jammers emit only while powered and not crashed;
+  // phase 1 skips down and jamming nodes alike.
+  jam_active_.copy_from(jamming_);
+  jam_active_.subtract(dead_);
+  jam_active_.subtract(down_);
+  fault_out_.copy_from(down_);
+  fault_out_ |= jam_active_;
+}
+
+void Simulator::apply_fault_event(const FaultEvent& e) {
+  const std::size_t v = e.node;
+  const auto flight = [&](obs::FlightEvent::Kind kind, std::uint32_t aux) {
+    if (recording_) {
+      record_flight(kind, v, obs::FlightEvent::kNoNode, obs::FlightEvent::kNoPacket, aux);
+    }
+  };
+  switch (e.kind) {
+    case FaultEvent::Kind::kCrash:
+      if (dead_.test(v) || down_.test(v)) return;  // already gone
+      down_.set(v);
+      down_since_[v] = now_;
+      ++stats_.fault_crashes;
+      if (hot_.fault_crashes) hot_.fault_crashes->inc();
+      flight(obs::FlightEvent::Kind::kFaultCrash, 0);
+      return;
+    case FaultEvent::Kind::kRecover:
+      if (!down_.test(v)) return;  // never crashed, or battery-dead for good
+      down_.reset(v);
+      ++stats_.fault_recoveries;
+      if (hot_.fault_recoveries) hot_.fault_recoveries->inc();
+      flight(obs::FlightEvent::Kind::kFaultRecover,
+             static_cast<std::uint32_t>(now_ - down_since_[v]));
+      return;
+    case FaultEvent::Kind::kBatterySpike:
+      if (dead_.test(v)) return;
+      ++stats_.fault_battery_spikes;
+      if (hot_.fault_battery_spikes) hot_.fault_battery_spikes->inc();
+      flight(obs::FlightEvent::Kind::kFaultBatterySpike,
+             static_cast<std::uint32_t>(e.magnitude_mj));
+      if (config_.battery_mj > 0.0) {
+        battery_[v] -= e.magnitude_mj;
+        if (battery_[v] <= 0.0) kill_node(v);
+      }
+      return;
+    case FaultEvent::Kind::kJamStart:
+      if (jamming_.test(v)) return;
+      jamming_.set(v);
+      ++stats_.fault_jam_bursts;
+      if (hot_.fault_jam_bursts) hot_.fault_jam_bursts->inc();
+      flight(obs::FlightEvent::Kind::kFaultJamStart, 0);
+      return;
+    case FaultEvent::Kind::kJamEnd:
+      if (!jamming_.test(v)) return;
+      jamming_.reset(v);
+      flight(obs::FlightEvent::Kind::kFaultJamEnd, 0);
+      return;
+  }
+}
+
+bool Simulator::drift_lost(std::size_t x, std::size_t y) const {
+  const FaultPlanConfig& fc = config_.fault_plan->config();
+  const std::vector<double>& rates = config_.fault_plan->drift_rates();
+  // Relative misalignment grows linearly since the last resync epoch (or
+  // since boot when resync is disabled) — the sawtooth degradation pattern.
+  const double phase = fc.resync_interval > 0
+                           ? static_cast<double>(now_ % fc.resync_interval)
+                           : static_cast<double>(now_);
+  return std::abs((rates[x] - rates[y]) * phase) > fc.drift_guard;
+}
+
+bool Simulator::ge_lost(std::size_t x, std::size_t y) {
+  const GilbertElliott& ge = config_.fault_plan->config().link_loss;
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(x) * graph_.num_nodes() + static_cast<std::uint64_t>(y);
+  const auto [it, inserted] = ge_links_.try_emplace(key);
+  GeLink& link = it->second;
+  double p_bad;
+  if (inserted) {
+    // First use: private stream from the plan's link seed; the chain starts
+    // in its stationary distribution.
+    link.rng = util::Xoshiro256(util::mix64(config_.fault_plan->link_stream_seed() ^ key));
+    p_bad = ge.stationary_bad();
+  } else {
+    // Lazy evolution: collapse the k idle slots since last use with the
+    // closed-form k-step transition
+    //   P(bad at t+k) = pi + (bad_t - pi) * (1 - a - b)^k,  pi = a / (a + b),
+    // so the chain costs one pow per *use*, not one draw per slot.
+    const auto k = static_cast<double>(now_ - link.last_slot);
+    const double pi = ge.stationary_bad();
+    const double decay = std::pow(1.0 - ge.p_good_to_bad - ge.p_bad_to_good, k);
+    p_bad = pi + ((link.bad ? 1.0 : 0.0) - pi) * decay;
+  }
+  link.bad = link.rng.uniform01() < p_bad;
+  link.last_slot = now_;
+  const double loss = link.bad ? ge.loss_bad : ge.loss_good;
+  return loss > 0.0 && link.rng.uniform01() < loss;
+}
+
 // Phase 3 (scalar): per-node energy accounting (dead nodes draw nothing and
 // stay dead). Runs for the legacy pipeline (receivers == nullptr, virtual
 // can_receive per node) and for batched runs of scalar-only MACs
@@ -466,7 +655,9 @@ void Simulator::account_energy_scalar(const util::DynamicBitset* receivers) {
   for (std::size_t v = 0; v < n; ++v) {
     if (dead_.test(v)) continue;
     RadioState state;
-    if (transmitting_.test(v)) {
+    if (fault_world_ && down_.test(v)) {
+      state = RadioState::kSleep;  // a crashed radio is off (sleep-rate drain)
+    } else if (transmitting_.test(v)) {
       state = RadioState::kTransmit;
     } else if (receivers != nullptr ? receivers->test(v) : mac_.can_receive(v)) {
       state = RadioState::kListen;  // eligible receiver: awake whether or
@@ -503,6 +694,7 @@ void Simulator::account_energy_batched() {
   listen_.copy_from(receivers_);
   listen_.subtract(transmitting_);
   listen_.subtract(dead_);
+  if (fault_world_) listen_.subtract(down_);  // crashed radios are off
   awake_now_.copy_from(listen_);
   awake_now_ |= transmitting_;
   transmitting_.for_each([&](std::size_t v) { ++stats_.state_slots[v][kTransmitIdx]; });

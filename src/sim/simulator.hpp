@@ -21,11 +21,13 @@
 
 #include <cstddef>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "net/graph.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "sim/fault.hpp"
 #include "sim/mac.hpp"
 #include "sim/packet.hpp"
 #include "sim/stats.hpp"
@@ -100,6 +102,19 @@ struct SimConfig {
   /// model duty cycling exists to optimize.
   double battery_mj = 0.0;
   EnergyModel energy;
+  /// Optional deterministic fault plan (sim/fault.hpp). When set, the
+  /// simulator applies the plan's timestamped events at the start of each
+  /// slot (crash/recover, battery spikes, jam bursts) and runs its
+  /// continuous processes (Gilbert-Elliott bursty link loss, clock drift)
+  /// against every transmission. Cost contract: null (the default) costs
+  /// one predictable branch per slot and per hook site; armed fault
+  /// randomness comes from per-link/per-node streams derived from the plan
+  /// seed — never from the simulator's own rng_ — so a run with an
+  /// armed-but-EMPTY plan is bit-identical to an unarmed run, and
+  /// scalar/batched pipeline golden equality holds with faults on. The plan
+  /// must outlive the simulator and is shareable across cells (all mutable
+  /// fault state lives in the simulator).
+  const FaultPlan* fault_plan = nullptr;
   /// Optional shared read-only routing table. When set, next-hop queries go
   /// to this table instead of the simulator's internal one, so campaign
   /// cells replaying the same topology (runner/cache.hpp) share one set of
@@ -162,6 +177,14 @@ class Simulator {
   /// Pre-sizes the latency sample buffer (see LatencyStats::reserve).
   void reserve_latency(std::size_t n) { stats_.latency.reserve(n); }
 
+  /// Fault-injection probes (only meaningful with an armed fault plan).
+  [[nodiscard]] bool is_down(std::size_t node) const {
+    return fault_armed_ && down_.test(node);
+  }
+  [[nodiscard]] bool is_jamming(std::size_t node) const {
+    return fault_armed_ && jamming_.test(node);
+  }
+
   /// Battery state (only meaningful when config.battery_mj > 0).
   [[nodiscard]] bool is_alive(std::size_t node) const { return !dead_.test(node); }
   [[nodiscard]] std::size_t alive_count() const { return dead_.size() - dead_.count(); }
@@ -182,6 +205,20 @@ class Simulator {
   void account_energy_scalar(const util::DynamicBitset* receivers);
   void account_energy_batched();                       // phase 3, set-driven
   void kill_node(std::size_t v);
+
+  // --- fault injection (all no-ops / never called unless fault_armed_) ---
+  /// Applies every plan event due at now_, then refreshes the per-slot
+  /// jam_active_ / fault_out_ sets. Runs before traffic and the MAC see
+  /// the slot.
+  void apply_fault_events();
+  void apply_fault_event(const FaultEvent& e);
+  /// True when the transmission x -> y is lost to accumulated clock drift
+  /// (deterministic: a pure function of the plan's rates and now_).
+  [[nodiscard]] bool drift_lost(std::size_t x, std::size_t y) const;
+  /// Advances link (x, y)'s Gilbert-Elliott chain to now_ (closed-form
+  /// k-step transition, lazily — idle links cost nothing) and draws the
+  /// loss verdict from the link's OWN SplitMix64-derived stream.
+  bool ge_lost(std::size_t x, std::size_t y);
   /// Rewrites state_slots[v][kSleep] from the identity
   ///   sleep = slots_participated - transmit - receive - listen,
   /// which holds on every pipeline; the batched phase 3 never increments
@@ -268,6 +305,14 @@ class Simulator {
     obs::Counter* sync_losses = nullptr;
     obs::Counter* queue_drops = nullptr;
     obs::Histogram* latency = nullptr;
+    // Registered only when a fault plan is armed (names stay absent from
+    // unarmed registries).
+    obs::Counter* fault_crashes = nullptr;
+    obs::Counter* fault_recoveries = nullptr;
+    obs::Counter* fault_battery_spikes = nullptr;
+    obs::Counter* fault_jam_bursts = nullptr;
+    obs::Counter* burst_losses = nullptr;
+    obs::Counter* drift_losses = nullptr;
   };
 
   net::Graph graph_;
@@ -304,6 +349,24 @@ class Simulator {
   std::vector<double> battery_;       // remaining mJ per node (battery_mj > 0 only)
   util::DynamicBitset dead_;          // depleted nodes
   std::vector<std::uint64_t> death_slot_;  // slot of death, kNeverDied while alive
+
+  // Fault-injection state (sized / maintained only when fault_armed_).
+  bool fault_armed_ = false;          // config_.fault_plan != nullptr
+  bool fault_world_ = false;          // plan has timestamped events (crash/jam/...)
+  bool fault_drift_ = false;          // plan has drift rates
+  bool fault_ge_ = false;             // plan has an armed Gilbert-Elliott channel
+  std::size_t fault_cursor_ = 0;      // next unapplied plan event
+  util::DynamicBitset down_;          // crashed (recoverable) nodes
+  util::DynamicBitset jamming_;       // nodes inside a jam burst
+  util::DynamicBitset jam_active_;    // per slot: jamming_ minus dead_/down_
+  util::DynamicBitset fault_out_;     // per slot: down_ | jam_active_ (phase-1 skip set)
+  std::vector<std::uint64_t> down_since_;  // crash slot while down (recover aux)
+  struct GeLink {
+    util::Xoshiro256 rng;    // this link's private coin stream
+    std::uint64_t last_slot = 0;
+    bool bad = false;
+  };
+  std::unordered_map<std::uint64_t, GeLink> ge_links_;  // key = x * n + y
   // Per-slot energy constants (== config_.energy.energy_mj(state, 1)).
   double e_transmit_ = 0.0, e_listen_ = 0.0, e_sleep_ = 0.0;
 

@@ -88,6 +88,13 @@ void SimStats::merge(const SimStats& other) {
   add_padded(wake_transitions, other.wake_transitions);
   first_death_slot = std::min(first_death_slot, other.first_death_slot);
   deaths += other.deaths;
+  fault_crashes += other.fault_crashes;
+  fault_recoveries += other.fault_recoveries;
+  fault_battery_spikes += other.fault_battery_spikes;
+  fault_jam_bursts += other.fault_jam_bursts;
+  burst_losses += other.burst_losses;
+  drift_losses += other.drift_losses;
+  partial = partial || other.partial;
 }
 
 std::string SimStats::summary(const EnergyModel& model) const {
@@ -101,6 +108,14 @@ std::string SimStats::summary(const EnergyModel& model) const {
      << " p95=" << latency.percentile(95) << " max=" << latency.max() << " slots\n"
      << "awake_fraction=" << awake_fraction() << " energy=" << total_energy_mj(model)
      << " mJ (" << energy_per_delivery_mj(model) << " mJ/delivery)";
+  if (fault_crashes + fault_recoveries + fault_battery_spikes + fault_jam_bursts +
+          burst_losses + drift_losses >
+      0) {
+    os << "\nfaults: crashes=" << fault_crashes << " recoveries=" << fault_recoveries
+       << " spikes=" << fault_battery_spikes << " jam_bursts=" << fault_jam_bursts
+       << " burst_loss=" << burst_losses << " drift_loss=" << drift_losses;
+  }
+  if (partial) os << "\nPARTIAL: quarantined cells missing from this aggregate";
   return os.str();
 }
 

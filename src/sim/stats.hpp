@@ -43,6 +43,11 @@ class LatencyStats {
     samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
   }
 
+  /// Raw samples in stored order. Exposed for exact serialization (the
+  /// campaign journal round-trips a cell's samples bit for bit); note
+  /// percentile() reorders them in place, so serialize before querying.
+  [[nodiscard]] const std::vector<std::uint64_t>& samples() const { return samples_; }
+
  private:
   // mutable: percentile() reorders (never resizes) the samples in place.
   mutable std::vector<std::uint64_t> samples_;
@@ -75,6 +80,21 @@ struct SimStats {
   // running death count. first_death_slot is UINT64_MAX while all alive.
   std::uint64_t first_death_slot = ~std::uint64_t{0};
   std::uint64_t deaths = 0;
+
+  // Injected-fault accounting (sim/fault.hpp). All zero unless a FaultPlan
+  // is armed, so unarmed runs are unchanged.
+  std::uint64_t fault_crashes = 0;        // kCrash events applied
+  std::uint64_t fault_recoveries = 0;     // kRecover events applied
+  std::uint64_t fault_battery_spikes = 0; // kBatterySpike events applied
+  std::uint64_t fault_jam_bursts = 0;     // kJamStart events applied
+  std::uint64_t burst_losses = 0;         // receptions lost to Gilbert-Elliott
+  std::uint64_t drift_losses = 0;         // receptions lost to clock drift
+
+  /// True when these stats are an incomplete aggregate: at least one
+  /// quarantined campaign cell is missing from the merge. Sticky across
+  /// merge() in any order — graceful degradation must never read as a
+  /// complete result.
+  bool partial = false;
 
   [[nodiscard]] double delivery_ratio() const {
     return generated == 0 ? 0.0 : static_cast<double>(delivered) / static_cast<double>(generated);

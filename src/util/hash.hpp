@@ -1,0 +1,51 @@
+// Small non-cryptographic hashing helpers.
+//
+// FNV-1a 64 is the repo's checksum for corruption detection (journal lines,
+// ArtifactStore entries): fast, dependency-free, and stable across
+// platforms — the journal format commits to it, so do not change the
+// constants. For keyed stream derivation (per-link fault channels) the
+// SplitMix64 finalizer gives better avalanche than FNV; mix64 exposes it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ttdc::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Folds one byte into a running FNV-1a 64 state.
+[[nodiscard]] constexpr std::uint64_t fnv1a64_byte(std::uint64_t state,
+                                                   unsigned char byte) {
+  return (state ^ byte) * kFnvPrime;
+}
+
+/// FNV-1a 64 of a byte range, continuing from `state` (chainable).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                              std::uint64_t state = kFnvOffsetBasis) {
+  for (const char c : bytes) {
+    state = fnv1a64_byte(state, static_cast<unsigned char>(c));
+  }
+  return state;
+}
+
+/// Folds a 64-bit word (little-endian byte order) into a running state.
+[[nodiscard]] constexpr std::uint64_t fnv1a64_u64(std::uint64_t state, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    state = fnv1a64_byte(state, static_cast<unsigned char>(v >> (8 * i)));
+  }
+  return state;
+}
+
+/// SplitMix64 finalizer: a strong 64 -> 64 bit mixer. Used to derive
+/// independent per-key RNG streams from (seed, key) without correlation
+/// between adjacent keys.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ttdc::util

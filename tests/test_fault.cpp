@@ -1,0 +1,447 @@
+// ttdc::fault — deterministic fault injection (sim/fault.hpp, DESIGN.md §12).
+// Covers: plan derivation determinism and per-class stream separation, the
+// Gilbert-Elliott channel math, crash/recover/jam/battery-spike semantics
+// against hand-written event lists, the armed-but-empty bit-identity
+// contract, scalar/batched golden equality with a generative plan armed,
+// and fault instants in the flight record.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "combinatorics/constructions.hpp"
+#include "combinatorics/params.hpp"
+#include "core/builders.hpp"
+#include "core/construct.hpp"
+#include "net/topology.hpp"
+#include "obs/flight_recorder.hpp"
+#include "sim/fault.hpp"
+#include "sim/mac.hpp"
+#include "sim/simulator.hpp"
+
+namespace ttdc::sim {
+namespace {
+
+using core::Schedule;
+using obs::FlightEvent;
+using obs::FlightRecorder;
+
+constexpr std::size_t kN = 36;
+constexpr std::size_t kD = 4;
+constexpr std::uint64_t kSlots = 10000;
+
+net::Graph test_graph(std::uint64_t seed = 21) {
+  util::Xoshiro256 rng(seed);
+  return net::random_bounded_degree_graph(kN, kD, 2 * kN, rng);
+}
+
+Schedule duty_schedule() {
+  return core::construct_duty_cycled(
+      core::non_sleeping_from_family(comb::build_plan(comb::best_plan(kN, kD), kN)), kD, 4,
+      kN / 3);
+}
+
+FaultPlanConfig stormy_config(std::uint64_t horizon) {
+  FaultPlanConfig cfg;
+  cfg.horizon_slots = horizon;
+  cfg.crash_rate = 5e-5;
+  cfg.mean_downtime_slots = 150.0;
+  cfg.link_loss.p_good_to_bad = 0.01;
+  cfg.link_loss.p_bad_to_good = 0.1;
+  cfg.max_drift_per_slot = 1e-4;
+  cfg.drift_guard = 0.25;
+  cfg.resync_interval = 2000;
+  cfg.battery_spike_rate = 2e-5;
+  cfg.battery_spike_mj = 5.0;
+  cfg.num_jammers = 2;
+  cfg.jam_duty = 0.05;
+  cfg.jam_burst_slots = 100;
+  return cfg;
+}
+
+/// Field-by-field SimStats equality, including the fault counters — used by
+/// both the bit-identity and pipeline-equivalence tests below.
+void expect_identical_stats(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.slots_run, b.slots_run);
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.hop_successes, b.hop_successes);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.receiver_asleep, b.receiver_asleep);
+  EXPECT_EQ(a.channel_losses, b.channel_losses);
+  EXPECT_EQ(a.sync_losses, b.sync_losses);
+  EXPECT_EQ(a.queue_drops, b.queue_drops);
+  EXPECT_EQ(a.fault_crashes, b.fault_crashes);
+  EXPECT_EQ(a.fault_recoveries, b.fault_recoveries);
+  EXPECT_EQ(a.fault_battery_spikes, b.fault_battery_spikes);
+  EXPECT_EQ(a.fault_jam_bursts, b.fault_jam_bursts);
+  EXPECT_EQ(a.burst_losses, b.burst_losses);
+  EXPECT_EQ(a.drift_losses, b.drift_losses);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.latency.max(), b.latency.max());
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+  for (double pct : {50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(a.latency.percentile(pct), b.latency.percentile(pct)) << "p" << pct;
+  }
+  EXPECT_EQ(a.state_slots, b.state_slots);
+  EXPECT_EQ(a.delivered_by_origin, b.delivered_by_origin);
+  EXPECT_EQ(a.wake_transitions, b.wake_transitions);
+  EXPECT_EQ(a.first_death_slot, b.first_death_slot);
+  EXPECT_EQ(a.deaths, b.deaths);
+}
+
+// ---------------------------------------------------------------------------
+// Plan derivation
+
+TEST(FaultPlan, SameTripleYieldsIdenticalPlan) {
+  const FaultPlanConfig cfg = stormy_config(50000);
+  const FaultPlan a(cfg, kN, 0xabcdef);
+  const FaultPlan b(cfg, kN, 0xabcdef);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_TRUE(a.events()[i] == b.events()[i]) << "event " << i;
+  }
+  EXPECT_EQ(a.link_stream_seed(), b.link_stream_seed());
+  EXPECT_EQ(a.drift_rates(), b.drift_rates());
+  // A different seed must not reproduce the same world.
+  const FaultPlan c(cfg, kN, 0xabcdf0);
+  EXPECT_TRUE(a.events() != c.events());
+}
+
+TEST(FaultPlan, FaultClassesDrawFromSeparateStreams) {
+  // Adding battery spikes and jammers to a config must not perturb the
+  // crash/recover schedule — each class has its own SplitMix64 child.
+  FaultPlanConfig crashes_only;
+  crashes_only.horizon_slots = 50000;
+  crashes_only.crash_rate = 5e-5;
+  crashes_only.mean_downtime_slots = 150.0;
+
+  FaultPlanConfig everything = crashes_only;
+  everything.battery_spike_rate = 2e-5;
+  everything.battery_spike_mj = 5.0;
+  everything.num_jammers = 2;
+  everything.jam_duty = 0.05;
+
+  const FaultPlan lean(crashes_only, kN, 7);
+  const FaultPlan full(everything, kN, 7);
+
+  auto crash_events = [](const FaultPlan& p) {
+    std::vector<FaultEvent> out;
+    for (const auto& e : p.events()) {
+      if (e.kind == FaultEvent::Kind::kCrash || e.kind == FaultEvent::Kind::kRecover) {
+        out.push_back(e);
+      }
+    }
+    return out;
+  };
+  EXPECT_TRUE(crash_events(lean) == crash_events(full));
+  EXPECT_GT(full.count(FaultEvent::Kind::kBatterySpike), 0u);
+  EXPECT_GT(full.count(FaultEvent::Kind::kJamStart), 0u);
+}
+
+TEST(FaultPlan, EventsSortedAndCountsConsistent) {
+  const FaultPlan plan(stormy_config(50000), kN, 99);
+  ASSERT_FALSE(plan.events().empty());
+  for (std::size_t i = 1; i < plan.events().size(); ++i) {
+    EXPECT_LE(plan.events()[i - 1].slot, plan.events()[i].slot);
+  }
+  std::size_t total = 0;
+  for (int k = 0; k <= static_cast<int>(FaultEvent::Kind::kJamEnd); ++k) {
+    total += plan.count(static_cast<FaultEvent::Kind>(k));
+  }
+  EXPECT_EQ(total, plan.events().size());
+  // Every recovery is preceded by a crash for that node, so counts can
+  // differ by at most one outstanding downtime per node.
+  EXPECT_GE(plan.count(FaultEvent::Kind::kCrash), plan.count(FaultEvent::Kind::kRecover));
+  EXPECT_FALSE(plan.summary().empty());
+}
+
+TEST(GilbertElliott, StationaryBadAndArming) {
+  GilbertElliott ge;
+  EXPECT_FALSE(ge.armed());  // defaults: never leaves Good
+  EXPECT_EQ(ge.stationary_bad(), 0.0);
+  ge.p_good_to_bad = 0.02;
+  ge.p_bad_to_good = 0.08;
+  EXPECT_TRUE(ge.armed());
+  EXPECT_DOUBLE_EQ(ge.stationary_bad(), 0.2);
+  ge.loss_bad = 0.0;
+  ge.loss_good = 0.0;
+  EXPECT_FALSE(ge.armed());  // transitions without loss are harmless
+}
+
+// ---------------------------------------------------------------------------
+// World semantics against explicit event lists
+
+TEST(FaultWorld, CrashSuppressesNodeAndRecoveryRestoresIt) {
+  const Schedule s = duty_schedule();
+  DutyCycledScheduleMac mac(s);
+  BernoulliTraffic traffic(kN, 0.01);
+  std::vector<FaultEvent> events;
+  events.push_back({.slot = 100, .node = 3, .magnitude_mj = 0.0,
+                    .kind = FaultEvent::Kind::kCrash});
+  events.push_back({.slot = 400, .node = 3, .magnitude_mj = 0.0,
+                    .kind = FaultEvent::Kind::kRecover});
+  const FaultPlan plan(events, kN);
+  SimConfig cfg;
+  cfg.seed = 41;
+  cfg.fault_plan = &plan;
+  Simulator sim(test_graph(), mac, traffic, cfg);
+
+  sim.run(150);  // past slot 100: the crash has been applied
+  EXPECT_TRUE(sim.is_down(3));
+  EXPECT_EQ(sim.stats().fault_crashes, 1u);
+  EXPECT_EQ(sim.stats().fault_recoveries, 0u);
+  sim.run(300);  // past slot 400: recovered
+  EXPECT_FALSE(sim.is_down(3));
+  EXPECT_EQ(sim.stats().fault_recoveries, 1u);
+}
+
+TEST(FaultWorld, CrashedSaturatedSourceStopsDelivering) {
+  // Single saturated flow 0 -> 1; crash the source for the whole run and
+  // nothing can be delivered, while the identical run without the crash
+  // delivers plenty.
+  auto run_with = [&](const FaultPlan* plan) {
+    const Schedule s = duty_schedule();
+    DutyCycledScheduleMac mac(s);
+    Simulator* probe = nullptr;
+    SaturatedFlows traffic({{0, 1}},
+                           [&probe](std::size_t v) { return probe->queue_size(v); });
+    SimConfig cfg;
+    cfg.seed = 42;
+    cfg.fault_plan = plan;
+    Simulator sim(test_graph(), mac, traffic, cfg);
+    probe = &sim;
+    sim.run(kSlots);
+    return sim.stats().delivered;
+  };
+  std::vector<FaultEvent> events;
+  events.push_back({.slot = 0, .node = 0, .magnitude_mj = 0.0,
+                    .kind = FaultEvent::Kind::kCrash});
+  const FaultPlan down_forever(events, kN);
+  EXPECT_EQ(run_with(&down_forever), 0u);
+  EXPECT_GT(run_with(nullptr), 0u);
+}
+
+TEST(FaultWorld, JammerDegradesDeliveryAndCounts) {
+  auto run_with = [&](const FaultPlan* plan) {
+    const Schedule s = duty_schedule();
+    DutyCycledScheduleMac mac(s);
+    BernoulliTraffic traffic(kN, 0.02);
+    SimConfig cfg;
+    cfg.seed = 43;
+    cfg.fault_plan = plan;
+    Simulator sim(test_graph(), mac, traffic, cfg);
+    sim.run(kSlots);
+    return sim.stats();
+  };
+  // One jammer blanketing the whole run.
+  std::vector<FaultEvent> events;
+  events.push_back({.slot = 0, .node = 5, .magnitude_mj = 0.0,
+                    .kind = FaultEvent::Kind::kJamStart});
+  events.push_back({.slot = kSlots - 1, .node = 5, .magnitude_mj = 0.0,
+                    .kind = FaultEvent::Kind::kJamEnd});
+  const FaultPlan jammed(events, kN);
+  const SimStats with = run_with(&jammed);
+  const SimStats without = run_with(nullptr);
+  EXPECT_EQ(with.fault_jam_bursts, 1u);
+  EXPECT_GT(with.collisions, without.collisions);
+  EXPECT_LT(with.delivered, without.delivered);
+}
+
+TEST(FaultWorld, BatterySpikeDrainsAndCanKill) {
+  const Schedule s = duty_schedule();
+  DutyCycledScheduleMac mac(s);
+  BernoulliTraffic traffic(kN, 0.0);  // no traffic: isolate the energy model
+  std::vector<FaultEvent> events;
+  events.push_back({.slot = 50, .node = 2, .magnitude_mj = 40.0,
+                    .kind = FaultEvent::Kind::kBatterySpike});
+  events.push_back({.slot = 60, .node = 7, .magnitude_mj = 1e9,
+                    .kind = FaultEvent::Kind::kBatterySpike});
+  const FaultPlan plan(events, kN);
+  SimConfig cfg;
+  cfg.seed = 44;
+  cfg.battery_mj = 1e6;
+  cfg.fault_plan = &plan;
+  Simulator sim(test_graph(), mac, traffic, cfg);
+  sim.run(100);
+  EXPECT_EQ(sim.stats().fault_battery_spikes, 2u);
+  // Node 2 lost the spike on top of normal drain; a peer with the same
+  // radio schedule class can't have drained 40 mJ more than node 2 kept.
+  EXPECT_LT(sim.remaining_battery_mj(2), 1e6 - 40.0);
+  EXPECT_FALSE(sim.is_alive(7));  // overdrained clean through its budget
+  EXPECT_TRUE(sim.is_alive(2));
+  EXPECT_EQ(sim.stats().deaths, 1u);
+}
+
+TEST(FaultWorld, BurstLossOnAlwaysBadChannelStopsDelivery) {
+  // Degenerate Gilbert-Elliott: Good -> Bad immediately and never back.
+  FaultPlanConfig cfg;
+  cfg.link_loss.p_good_to_bad = 1.0;
+  cfg.link_loss.p_bad_to_good = 0.0;
+  cfg.link_loss.loss_bad = 1.0;
+  const FaultPlan plan({}, kN, cfg, 5);
+  const Schedule s = duty_schedule();
+  DutyCycledScheduleMac mac(s);
+  BernoulliTraffic traffic(kN, 0.02);
+  SimConfig sim_cfg;
+  sim_cfg.seed = 45;
+  sim_cfg.fault_plan = &plan;
+  Simulator sim(test_graph(), mac, traffic, sim_cfg);
+  sim.run(kSlots);
+  EXPECT_GT(sim.stats().transmissions, 0u);
+  EXPECT_GT(sim.stats().burst_losses, 0u);
+  EXPECT_EQ(sim.stats().delivered, 0u);
+  EXPECT_EQ(sim.stats().hop_successes, 0u);
+}
+
+TEST(FaultWorld, UnboundedDriftEventuallyLosesTransmissions) {
+  FaultPlanConfig cfg;
+  cfg.max_drift_per_slot = 1e-3;
+  cfg.drift_guard = 0.25;
+  cfg.resync_interval = 0;  // never resync: misalignment grows linearly
+  const FaultPlan plan({}, kN, cfg, 6);
+  ASSERT_TRUE(plan.has_drift());
+  const Schedule s = duty_schedule();
+  DutyCycledScheduleMac mac(s);
+  BernoulliTraffic traffic(kN, 0.02);
+  SimConfig sim_cfg;
+  sim_cfg.seed = 46;
+  sim_cfg.fault_plan = &plan;
+  Simulator sim(test_graph(), mac, traffic, sim_cfg);
+  sim.run(kSlots);
+  EXPECT_GT(sim.stats().drift_losses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contracts
+
+TEST(FaultWorld, ArmedEmptyPlanIsBitIdenticalToUnarmed) {
+  // The cost contract in SimConfig: fault randomness never touches the
+  // simulator's own RNG, so an armed plan with nothing in it reproduces the
+  // unarmed run exactly.
+  const FaultPlan empty(std::vector<FaultEvent>{}, kN);
+  auto run_with = [&](const FaultPlan* plan, bool scalar) {
+    const Schedule s = duty_schedule();
+    DutyCycledScheduleMac mac(s);
+    BernoulliTraffic traffic(kN, 0.02);
+    SimConfig cfg;
+    cfg.seed = 47;
+    cfg.packet_error_rate = 0.01;  // exercise the channel RNG stream too
+    cfg.force_scalar_pipeline = scalar;
+    cfg.fault_plan = plan;
+    Simulator sim(test_graph(), mac, traffic, cfg);
+    sim.run(kSlots);
+    return sim.stats();
+  };
+  for (bool scalar : {false, true}) {
+    const SimStats armed = run_with(&empty, scalar);
+    const SimStats unarmed = run_with(nullptr, scalar);
+    expect_identical_stats(armed, unarmed);
+  }
+}
+
+TEST(FaultWorld, PipelinesStayGoldenWithStormArmed) {
+  // The full storm (crashes, bursty loss, drift, spikes, jammers) must
+  // preserve scalar/batched golden equality — fault handling sits on both
+  // pipelines' shared phases.
+  const FaultPlan plan(stormy_config(kSlots), kN, 0xdead);
+  ASSERT_FALSE(plan.events().empty());
+  auto run_pipeline = [&](bool scalar) {
+    const Schedule s = duty_schedule();
+    DutyCycledScheduleMac mac(s);
+    BernoulliTraffic traffic(kN, 0.02);
+    SimConfig cfg;
+    cfg.seed = 48;
+    cfg.battery_mj = 1e5;
+    cfg.force_scalar_pipeline = scalar;
+    cfg.fault_plan = &plan;
+    Simulator sim(test_graph(), mac, traffic, cfg);
+    sim.run(kSlots);
+    return sim.stats();
+  };
+  const SimStats scalar = run_pipeline(true);
+  const SimStats batched = run_pipeline(false);
+  expect_identical_stats(scalar, batched);
+  // The storm must actually have done something, or this test is vacuous.
+  EXPECT_GT(scalar.fault_crashes + scalar.burst_losses + scalar.fault_jam_bursts, 0u);
+}
+
+TEST(FaultWorld, SamePlanSameSeedReproducesStats) {
+  const FaultPlan plan(stormy_config(kSlots), kN, 0xfeed);
+  auto run_once = [&] {
+    const Schedule s = duty_schedule();
+    DutyCycledScheduleMac mac(s);
+    BernoulliTraffic traffic(kN, 0.02);
+    SimConfig cfg;
+    cfg.seed = 49;
+    cfg.fault_plan = &plan;
+    Simulator sim(test_graph(), mac, traffic, cfg);
+    sim.run(kSlots);
+    return sim.stats();
+  };
+  expect_identical_stats(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+
+TEST(FaultWorld, FaultInstantsLandInFlightRecord) {
+  std::vector<FaultEvent> events;
+  events.push_back({.slot = 10, .node = 4, .magnitude_mj = 0.0,
+                    .kind = FaultEvent::Kind::kCrash});
+  events.push_back({.slot = 30, .node = 4, .magnitude_mj = 0.0,
+                    .kind = FaultEvent::Kind::kRecover});
+  events.push_back({.slot = 20, .node = 8, .magnitude_mj = 0.0,
+                    .kind = FaultEvent::Kind::kJamStart});
+  const FaultPlan plan(events, kN);
+  const Schedule s = duty_schedule();
+  DutyCycledScheduleMac mac(s);
+  BernoulliTraffic traffic(kN, 0.01);
+  FlightRecorder recorder(4096);
+  SimConfig cfg;
+  cfg.seed = 50;
+  cfg.fault_plan = &plan;
+  cfg.recorder = &recorder;
+  Simulator sim(test_graph(), mac, traffic, cfg);
+  sim.run(100);
+
+  bool saw_crash = false, saw_recover = false, saw_jam = false;
+  for (const auto& e : recorder.events()) {
+    switch (e.kind) {
+      case FlightEvent::Kind::kFaultCrash:
+        saw_crash = true;
+        EXPECT_EQ(e.slot, 10u);
+        EXPECT_EQ(e.node, 4u);
+        EXPECT_EQ(e.packet_id, FlightEvent::kNoPacket);
+        break;
+      case FlightEvent::Kind::kFaultRecover:
+        saw_recover = true;
+        EXPECT_EQ(e.slot, 30u);
+        EXPECT_EQ(e.aux, 20u);  // downtime in slots
+        EXPECT_EQ(e.packet_id, FlightEvent::kNoPacket);
+        break;
+      case FlightEvent::Kind::kFaultJamStart:
+        saw_jam = true;
+        EXPECT_EQ(e.node, 8u);
+        EXPECT_EQ(e.packet_id, FlightEvent::kNoPacket);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_recover);
+  EXPECT_TRUE(saw_jam);
+}
+
+TEST(FaultWorld, KindNamesAreStable) {
+  EXPECT_STREQ(fault_kind_name(FaultEvent::Kind::kCrash), "crash");
+  EXPECT_STREQ(fault_kind_name(FaultEvent::Kind::kRecover), "recover");
+  EXPECT_STREQ(fault_kind_name(FaultEvent::Kind::kBatterySpike), "battery_spike");
+  EXPECT_STREQ(fault_kind_name(FaultEvent::Kind::kJamStart), "jam_start");
+  EXPECT_STREQ(fault_kind_name(FaultEvent::Kind::kJamEnd), "jam_end");
+}
+
+}  // namespace
+}  // namespace ttdc::sim

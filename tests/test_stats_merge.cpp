@@ -126,6 +126,55 @@ TEST(SimStatsMerge, FirstDeathSlotTakesMin) {
   EXPECT_EQ(alive.first_death_slot, 17u);
 }
 
+TEST(SimStatsMerge, FaultCountersAdd) {
+  SimStats a, b;
+  a.fault_crashes = 3;
+  a.fault_recoveries = 2;
+  a.burst_losses = 10;
+  b.fault_crashes = 4;
+  b.fault_battery_spikes = 5;
+  b.fault_jam_bursts = 6;
+  b.drift_losses = 7;
+  a.merge(b);
+  EXPECT_EQ(a.fault_crashes, 7u);
+  EXPECT_EQ(a.fault_recoveries, 2u);
+  EXPECT_EQ(a.fault_battery_spikes, 5u);
+  EXPECT_EQ(a.fault_jam_bursts, 6u);
+  EXPECT_EQ(a.burst_losses, 10u);
+  EXPECT_EQ(a.drift_losses, 7u);
+}
+
+// The quarantine contract: one partial shard poisons the whole aggregate's
+// partial flag, no matter where in the fold it lands — a degraded campaign
+// report can never launder itself clean through merge order.
+TEST(SimStatsMerge, PartialFlagIsStickyThroughAnyMergeOrder) {
+  for (std::size_t where = 0; where < 4; ++where) {
+    SimStats agg;
+    for (std::size_t i = 0; i < 4; ++i) {
+      SimStats shard = make_stats(i + 1, 2);
+      shard.partial = (i == where);
+      agg.merge(shard);
+    }
+    EXPECT_TRUE(agg.partial) << "partial shard at position " << where;
+  }
+  // And merging clean shards never sets it.
+  SimStats clean;
+  clean.merge(make_stats(5, 2));
+  EXPECT_FALSE(clean.partial);
+  // A partial accumulator stays partial when clean shards fold in after.
+  SimStats sticky;
+  sticky.partial = true;
+  sticky.merge(make_stats(9, 2));
+  EXPECT_TRUE(sticky.partial);
+}
+
+TEST(SimStatsMerge, PartialFlagSurfacesInSummary) {
+  SimStats s = make_stats(1, 2);
+  EXPECT_EQ(s.summary(EnergyModel{}).find("PARTIAL"), std::string::npos);
+  s.partial = true;
+  EXPECT_NE(s.summary(EnergyModel{}).find("PARTIAL"), std::string::npos);
+}
+
 TEST(SimStatsMerge, MergeIsAssociativeOnCounters) {
   const SimStats a = make_stats(3, 2), b = make_stats(11, 2), c = make_stats(29, 2);
   SimStats left = a;

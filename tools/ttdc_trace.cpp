@@ -88,10 +88,15 @@ Args parse_args(int argc, char** argv, int first) {
   return a;
 }
 
-FlightLog load(const std::string& path, bool report_errors = true) {
+/// Loads a dump, reporting unparsable (truncated, bit-rotted) lines through
+/// `parse_errors`. Analysis still runs on whatever parsed — a torn dump is
+/// exactly when a post-mortem matters — but every command exits nonzero so
+/// scripts never mistake a partial answer for a complete one.
+FlightLog load(const std::string& path, std::size_t& parse_errors) {
   auto parsed = ttdc::obs::read_flight_jsonl_file(path);
-  if (report_errors && !parsed.errors.empty()) {
-    std::cerr << "warning: " << parsed.errors.size() << " unparsable line(s) skipped\n";
+  parse_errors = parsed.errors.size();
+  if (parse_errors != 0) {
+    std::cerr << "warning: " << parse_errors << " unparsable line(s) skipped\n";
   }
   return FlightLog(std::move(parsed.events));
 }
@@ -116,7 +121,8 @@ void print_event(const FlightEvent& e) {
 }
 
 int cmd_summary(const Args& args) {
-  const FlightLog log = load(args.positional.at(0));
+  std::size_t parse_errors = 0;
+  const FlightLog log = load(args.positional.at(0), parse_errors);
   std::uint64_t delivered = 0, truncated = 0, collisions = 0, tx = 0;
   for (const auto& h : log.packets()) {
     delivered += h.delivered ? 1 : 0;
@@ -138,22 +144,24 @@ int cmd_summary(const Args& args) {
   std::cout << "consistency:   "
             << (violations.empty() ? "OK" : std::to_string(violations.size()) + " violation(s)")
             << "\n";
-  return 0;
+  return (violations.empty() && parse_errors == 0) ? 0 : 1;
 }
 
 int cmd_worst_latency(const Args& args) {
-  const FlightLog log = load(args.positional.at(0));
+  std::size_t parse_errors = 0;
+  const FlightLog log = load(args.positional.at(0), parse_errors);
   const auto k = static_cast<std::size_t>(args.get_u64("-k", 10));
   std::cout << "packet  latency  delivered@  route\n";
   for (const auto& r : log.worst_latency(k)) {
     std::cout << r.packet_id << "  " << r.latency << "  " << r.delivered_slot << "  "
               << node_name(r.origin) << " -> " << node_name(r.destination) << "\n";
   }
-  return 0;
+  return parse_errors == 0 ? 0 : 1;
 }
 
 int cmd_top_collisions(const Args& args) {
-  const FlightLog log = load(args.positional.at(0));
+  std::size_t parse_errors = 0;
+  const FlightLog log = load(args.positional.at(0), parse_errors);
   const auto k = static_cast<std::size_t>(args.get_u64("-k", 10));
   for (const auto& h : log.top_collisions(k)) {
     std::cout << "receiver " << h.receiver << ": " << h.collisions
@@ -164,18 +172,20 @@ int cmd_top_collisions(const Args& args) {
     }
     std::cout << "\n";
   }
-  return 0;
+  return parse_errors == 0 ? 0 : 1;
 }
 
 int cmd_timeline(const Args& args) {
-  const FlightLog log = load(args.positional.at(0));
+  std::size_t parse_errors = 0;
+  const FlightLog log = load(args.positional.at(0), parse_errors);
   const auto node = static_cast<std::uint32_t>(args.get_u64("--node", 0));
   for (const auto& e : log.node_timeline(node)) print_event(e);
-  return 0;
+  return parse_errors == 0 ? 0 : 1;
 }
 
 int cmd_packet(const Args& args) {
-  const FlightLog log = load(args.positional.at(0));
+  std::size_t parse_errors = 0;
+  const FlightLog log = load(args.positional.at(0), parse_errors);
   const std::uint64_t id =
       args.positional.size() > 1
           ? std::strtoull(args.positional[1].c_str(), nullptr, 10)
@@ -190,7 +200,7 @@ int cmd_packet(const Args& args) {
             << (h->delivered ? ", delivered, latency " + std::to_string(h->latency) : "")
             << "\n";
   for (const auto& e : h->events) print_event(e);
-  return 0;
+  return parse_errors == 0 ? 0 : 1;
 }
 
 int cmd_check(const Args& args) {
@@ -208,7 +218,8 @@ int cmd_check(const Args& args) {
 }
 
 int cmd_perfetto(const Args& args) {
-  const FlightLog log = load(args.positional.at(0));
+  std::size_t parse_errors = 0;
+  const FlightLog log = load(args.positional.at(0), parse_errors);
   std::string out = "trace.perfetto.json";
   args.get("--out", out);
   ttdc::obs::PerfettoOptions opt;
@@ -220,7 +231,7 @@ int cmd_perfetto(const Args& args) {
   }
   std::cout << "wrote " << out << " (" << log.events().size()
             << " flight events); open in ui.perfetto.dev\n";
-  return 0;
+  return parse_errors == 0 ? 0 : 1;
 }
 
 // A deterministic miniature of the E-series deployments: duty-cycled
