@@ -1,9 +1,13 @@
 // Slot-rate regression harness for the word-parallel simulator hot path
 // (DESIGN.md §8): measures scalar-vs-batched slots/sec for
-// n in {50, 100, 200, 400, 800} under DutyCycledScheduleMac with tracing
-// off, and gates on a >= 3x speedup at n = 400. Emits BENCH_sim_hotpath.json
-// (consumed by scripts/run_benches.sh --perf-check for regression tracking
-// against the committed baseline).
+// n in {50, 100, 200, 400, 800, 1600, 3200} under DutyCycledScheduleMac
+// with tracing off, and gates on a >= 3x speedup at n = 400. The 1600 and
+// 3200 rows ride along informationally (slots_per_sec metrics only, no
+// gated *_speedup — the scalar pipeline is far outside its design envelope
+// there and the ratio is too noisy to gate; the metropolitan sizes proper
+// are bench_megascale's job). Emits BENCH_sim_hotpath.json (consumed by
+// scripts/run_benches.sh --perf-check for regression tracking against the
+// committed baseline).
 #include <algorithm>
 #include <cstddef>
 #include <iostream>
@@ -60,7 +64,7 @@ int main() {
   double gate_speedup = 0.0;
   std::cout << "simulator hot path: scalar vs batched pipeline (slots/sec)\n"
             << "    n     scalar/s    batched/s  speedup\n";
-  for (std::size_t n : {50, 100, 200, 400, 800}) {
+  for (std::size_t n : {50, 100, 200, 400, 800, 1600, 3200}) {
     util::Xoshiro256 rng(3);
     const net::Graph g = net::random_bounded_degree_graph(n, 4, 2 * n, rng);
     const core::Schedule duty = core::construct_duty_cycled(
@@ -88,7 +92,9 @@ int main() {
     key += std::to_string(n);
     report.metric(key + "_scalar_slots_per_sec", scalar);
     report.metric(key + "_batched_slots_per_sec", batched);
-    report.metric(key + "_speedup", speedup);
+    // The extended ladder rows (n > 800) are informational only: no
+    // *_speedup key, so --perf-check never gates them.
+    if (n <= 800) report.metric(key + "_speedup", speedup);
     if (static_cast<double>(n) == kGateN) {
       gate_speedup = speedup;
       gate_ok = speedup >= kGateSpeedup;

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Compare the latest bench reports against the committed baselines.
+"""Compare bench reports across runs and against the committed baselines.
 
-Reads BENCH_<name>.json reports (newest run: the repo root, or the most
-recently modified bench/history/<sha>/ archive written by
-scripts/run_benches.sh) and prints a per-bench trend table against
-bench/baselines/BENCH_<name>.baseline.json. A metric is flagged only when
-it leaves the noise band (default +/-10%); *_speedup and *_slots_per_sec
-metrics are treated as higher-is-better, *_seconds and *_overhead* as
-lower-is-better, everything else is reported informationally.
+Default mode reads the newest BENCH_<name>.json reports from the repo root
+and prints a per-bench trend table against
+bench/baselines/BENCH_<name>.baseline.json. With --history the comparison
+is between the two most recent bench/history/<sha>/ archives written by
+scripts/run_benches.sh (newest vs previous: the actual run-to-run trend).
+A metric is flagged only when it leaves the noise band (default +/-10%);
+*_speedup and *_slots_per_sec metrics are treated as higher-is-better,
+*_seconds and *_overhead* as lower-is-better, everything else is reported
+informationally.
+
+Missing inputs are never a traceback: fewer than two history snapshots, a
+bench present in one snapshot but not the other, or an unreadable report
+all print a short explanation and the script moves on (or exits 0 when
+there is nothing at all to compare).
 
 Exit status is always 0 unless --strict is given (CI runs it non-fatally:
 the hard perf gates live in run_benches.sh --perf-check; this script is
@@ -26,19 +33,21 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def load_metrics(path):
-    with open(path) as f:
-        return json.load(f).get("metrics", {})
+    """Returns the metrics dict, or None (with a message) when unreadable."""
+    try:
+        with open(path) as f:
+            return json.load(f).get("metrics", {})
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"  (unreadable report {os.path.relpath(path, REPO_ROOT)}: {err})")
+        return None
 
 
-def latest_report_dir(use_history):
-    if use_history:
-        runs = sorted(
-            glob.glob(os.path.join(REPO_ROOT, "bench", "history", "*")),
-            key=os.path.getmtime,
-        )
-        if runs:
-            return runs[-1]
-    return REPO_ROOT
+def history_runs():
+    """History snapshot dirs, oldest first."""
+    return sorted(
+        glob.glob(os.path.join(REPO_ROOT, "bench", "history", "*")),
+        key=os.path.getmtime,
+    )
 
 
 def classify(key):
@@ -50,59 +59,98 @@ def classify(key):
     return 0, False
 
 
+def bench_names(report_dir):
+    paths = glob.glob(os.path.join(report_dir, "BENCH_*.json"))
+    return {os.path.basename(p)[len("BENCH_"):-len(".json")] for p in paths}
+
+
+def compare(name, baseline_path, report_path, band, regressions):
+    print(f"== {name} ==")
+    if not os.path.exists(report_path):
+        print("  (no current report; run scripts/run_benches.sh)\n")
+        return
+    base = load_metrics(baseline_path)
+    cur = load_metrics(report_path)
+    if base is None or cur is None:
+        print()
+        return
+    for key in sorted(base):
+        b, c = base[key], cur.get(key)
+        if c is None:
+            print(f"  {key:40s} baseline {b:>12.4g}  current      MISSING")
+            continue
+        direction, gated = classify(key)
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            print(f"  {key:40s} baseline {b!r:>12}  current {c!r:>12}")
+            continue
+        # Near-zero baselines (overhead fractions jittering around 0)
+        # make relative deltas explode; compare those absolutely.
+        delta = (c - b) / abs(b) if abs(b) > 0.05 else (c - b)
+        verdict = ""
+        if gated and abs(delta) > band:
+            worse = (direction > 0 and delta < 0) or (direction < 0 and delta > 0)
+            verdict = "REGRESSED" if worse else "improved"
+            if worse:
+                regressions.append(f"{name}:{key} {delta:+.1%}")
+        print(f"  {key:40s} baseline {b:>12.4g}  current {c:>12.4g}  {delta:+7.1%} {verdict}")
+    print()
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--band", type=float, default=0.10,
                     help="relative noise band before a change is flagged")
     ap.add_argument("--history", action="store_true",
-                    help="read the newest bench/history/<sha>/ archive "
-                         "instead of the repo root")
+                    help="compare the two newest bench/history/<sha>/ "
+                         "archives instead of repo-root reports vs baselines")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 when any gated metric degrades out of band")
     args = ap.parse_args()
 
-    report_dir = latest_report_dir(args.history)
-    baseline_dir = os.path.join(REPO_ROOT, "bench", "baselines")
-    baselines = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.baseline.json")))
-    if not baselines:
-        print("no baselines under bench/baselines/; nothing to compare")
-        return 0
-
-    print(f"reports:   {report_dir}")
-    print(f"baselines: {baseline_dir}")
-    print(f"noise band: +/-{args.band:.0%}\n")
-
     regressions = []
-    for baseline_path in baselines:
-        name = os.path.basename(baseline_path)
-        name = name[len("BENCH_"):-len(".baseline.json")]
-        report_path = os.path.join(report_dir, f"BENCH_{name}.json")
-        print(f"== {name} ==")
-        if not os.path.exists(report_path):
-            print("  (no current report; run scripts/run_benches.sh)\n")
-            continue
-        base = load_metrics(baseline_path)
-        cur = load_metrics(report_path)
-        for key in sorted(base):
-            b, c = base[key], cur.get(key)
-            if c is None:
-                print(f"  {key:40s} baseline {b:>12.4g}  current      MISSING")
+    if args.history:
+        runs = history_runs()
+        if len(runs) < 2:
+            have = ", ".join(os.path.basename(r) for r in runs) or "none"
+            print(f"bench/history/ has {len(runs)} snapshot(s) ({have}); "
+                  "need two to show a trend — run scripts/run_benches.sh "
+                  "on two commits first")
+            return 0
+        prev_dir, cur_dir = runs[-2], runs[-1]
+        print(f"previous: {prev_dir}")
+        print(f"current:  {cur_dir}")
+        print(f"noise band: +/-{args.band:.0%}\n")
+        names = bench_names(prev_dir) | bench_names(cur_dir)
+        if not names:
+            print("neither snapshot contains any BENCH_*.json; nothing to compare")
+            return 0
+        for name in sorted(names):
+            prev_path = os.path.join(prev_dir, f"BENCH_{name}.json")
+            cur_path = os.path.join(cur_dir, f"BENCH_{name}.json")
+            if not os.path.exists(prev_path):
+                print(f"== {name} ==\n  (new in {os.path.basename(cur_dir)}; "
+                      "no previous snapshot to trend against)\n")
                 continue
-            direction, gated = classify(key)
-            if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
-                print(f"  {key:40s} baseline {b!r:>12}  current {c!r:>12}")
+            if not os.path.exists(cur_path):
+                print(f"== {name} ==\n  (present in {os.path.basename(prev_dir)} "
+                      f"but missing from {os.path.basename(cur_dir)})\n")
                 continue
-            # Near-zero baselines (overhead fractions jittering around 0)
-            # make relative deltas explode; compare those absolutely.
-            delta = (c - b) / abs(b) if abs(b) > 0.05 else (c - b)
-            verdict = ""
-            if gated and abs(delta) > args.band:
-                worse = (direction > 0 and delta < 0) or (direction < 0 and delta > 0)
-                verdict = "REGRESSED" if worse else "improved"
-                if worse:
-                    regressions.append(f"{name}:{key} {delta:+.1%}")
-            print(f"  {key:40s} baseline {b:>12.4g}  current {c:>12.4g}  {delta:+7.1%} {verdict}")
-        print()
+            compare(name, prev_path, cur_path, args.band, regressions)
+    else:
+        report_dir = REPO_ROOT
+        baseline_dir = os.path.join(REPO_ROOT, "bench", "baselines")
+        baselines = sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.baseline.json")))
+        if not baselines:
+            print("no baselines under bench/baselines/; nothing to compare")
+            return 0
+        print(f"reports:   {report_dir}")
+        print(f"baselines: {baseline_dir}")
+        print(f"noise band: +/-{args.band:.0%}\n")
+        for baseline_path in baselines:
+            name = os.path.basename(baseline_path)
+            name = name[len("BENCH_"):-len(".baseline.json")]
+            report_path = os.path.join(report_dir, f"BENCH_{name}.json")
+            compare(name, baseline_path, report_path, args.band, regressions)
 
     if regressions:
         print("out-of-band regressions (informational unless --strict):")

@@ -14,8 +14,8 @@
 # combined output is stable regardless of completion order.
 #
 # --perf-check: runs only the perf-gated benches (bench_sim_hotpath,
-# bench_campaign, bench_fault_resilience) and compares them against the
-# committed baselines
+# bench_campaign, bench_fault_resilience, bench_megascale) and compares
+# them against the committed baselines
 # (bench/baselines/), failing on a >25% regression of any *_speedup metric.
 # The speedups are gated because the paired measurement cancels machine
 # load and clock drift; absolute slots/sec are printed for context but not
@@ -114,9 +114,10 @@ EOF
 
 if [ "$perf_check" -eq 1 ]; then
   cmake --build "$build_dir" -j "$(nproc)" --target bench_sim_hotpath bench_campaign \
-    bench_fault_resilience
+    bench_fault_resilience bench_megascale
   status=0
-  for spec in "bench_sim_hotpath:" "bench_campaign:--perf-check" "bench_fault_resilience:"; do
+  for spec in "bench_sim_hotpath:" "bench_campaign:--perf-check" "bench_fault_resilience:" \
+              "bench_megascale:"; do
     name="${spec%%:*}"
     flag="${spec#*:}"
     echo "=== $name (perf check) ==="

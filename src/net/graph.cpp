@@ -7,7 +7,7 @@
 namespace ttdc::net {
 
 Graph::Graph(std::size_t num_nodes)
-    : adjacency_(num_nodes, util::DynamicBitset(num_nodes)) {}
+    : adjacency_(num_nodes, util::SlotSet(num_nodes)) {}
 
 void Graph::add_edge(std::size_t a, std::size_t b) {
   assert(a != b && a < num_nodes() && b < num_nodes());
@@ -80,8 +80,10 @@ std::vector<std::size_t> Graph::bfs_parents(std::size_t source) const {
 }
 
 std::uint64_t Graph::content_hash() const {
-  // FNV-1a, 64-bit. Mix in the node count first so graphs of different
-  // sizes with identical (empty) word streams don't collide trivially.
+  // FNV-1a, 64-bit, over (n, then per node: degree + sorted neighbors).
+  // Streaming members instead of raw words keeps the digest independent of
+  // each row's sparse/dense representation; the degree prefix delimits the
+  // per-node streams so adjacency cannot be reassociated across nodes.
   std::uint64_t h = 14695981039346656037ULL;
   const auto mix = [&h](std::uint64_t v) {
     for (int byte = 0; byte < 8; ++byte) {
@@ -91,7 +93,8 @@ std::uint64_t Graph::content_hash() const {
   };
   mix(static_cast<std::uint64_t>(num_nodes()));
   for (const auto& adj : adjacency_) {
-    for (auto word : adj.words()) mix(static_cast<std::uint64_t>(word));
+    mix(static_cast<std::uint64_t>(adj.count()));
+    adj.for_each([&](std::size_t v) { mix(static_cast<std::uint64_t>(v)); });
   }
   return h;
 }
@@ -99,7 +102,7 @@ std::uint64_t Graph::content_hash() const {
 bool Graph::same_adjacency(const Graph& other) const {
   if (num_nodes() != other.num_nodes()) return false;
   for (std::size_t u = 0; u < num_nodes(); ++u) {
-    if (adjacency_[u].words() != other.adjacency_[u].words()) return false;
+    if (!(adjacency_[u] == other.adjacency_[u])) return false;
   }
   return true;
 }

@@ -2,8 +2,11 @@
 //
 // The simulator and the topology-transparency experiments need concrete
 // members of N_n^D: graphs with at most n nodes whose degrees never exceed
-// D. Adjacency is stored both as per-node bitsets (collision resolution in
-// the simulator is a neighborhood-intersection query) and as sorted lists.
+// D. Adjacency rows are hybrid util::SlotSet node sets (collision
+// resolution in the simulator is a neighborhood-intersection query): a
+// degree-capped row stays a sorted sparse vector, so a metropolitan-scale
+// graph costs O(n·D) memory instead of the O(n²/8) bytes dense bitset rows
+// would need — the difference between 1.25 GB and a few MB at n = 10⁵.
 #pragma once
 
 #include <cstddef>
@@ -11,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "util/bitset.hpp"
+#include "util/slot_set.hpp"
 
 namespace ttdc::net {
 
@@ -29,8 +32,8 @@ class Graph {
     return adjacency_[a].test(b);
   }
 
-  /// Neighborhood of x as a bitset over nodes.
-  [[nodiscard]] const util::DynamicBitset& neighbors(std::size_t x) const {
+  /// Neighborhood of x as a hybrid node set over [0, n).
+  [[nodiscard]] const util::SlotSet& neighbors(std::size_t x) const {
     return adjacency_[x];
   }
 
@@ -56,12 +59,13 @@ class Graph {
   /// for unreachable). This is the routing tree used by convergecast.
   [[nodiscard]] std::vector<std::size_t> bfs_parents(std::size_t source) const;
 
-  /// FNV-1a digest over (n, adjacency words in node order). Two graphs with
-  /// equal hashes are identical with overwhelming probability, and — because
-  /// the hash covers the full adjacency in a fixed order — identical graphs
-  /// always collide, so content-keyed caches (runner/cache.hpp) may share
-  /// one BFS routing table across equal-hash graphs after verifying
-  /// equality. Not a cryptographic hash.
+  /// FNV-1a digest over (n, per-node degree + sorted neighbor stream). Two
+  /// graphs with equal hashes are identical with overwhelming probability,
+  /// and — because the hash covers the full adjacency in a fixed,
+  /// representation-independent order — identical graphs always collide, so
+  /// content-keyed caches (runner/cache.hpp) may share one BFS routing
+  /// table across equal-hash graphs after verifying equality. Not a
+  /// cryptographic hash.
   [[nodiscard]] std::uint64_t content_hash() const;
 
   /// Exact structural equality: same node count and identical adjacency.
@@ -70,7 +74,7 @@ class Graph {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::vector<util::DynamicBitset> adjacency_;
+  std::vector<util::SlotSet> adjacency_;
   std::size_t num_edges_ = 0;
 };
 

@@ -93,37 +93,52 @@ Positions random_positions(std::size_t n, util::Xoshiro256& rng) {
   return pos;
 }
 
-Graph unit_disk_graph(const Positions& pos, double radius, std::size_t max_degree) {
+Graph unit_disk_graph(const Positions& pos, double radius, std::size_t max_degree,
+                      const DomainGrid& grid) {
   const std::size_t n = pos.x.size();
   Graph g(n);
   // Candidate edges sorted by length; accept greedily under the degree cap,
-  // so the pruning removes the longest (weakest) links first.
+  // so the pruning removes the longest (weakest) links first. Candidates
+  // come from each node's 3x3 cell neighborhood — the grid invariant
+  // guarantees every pair within `radius` is enumerated — and the sort key
+  // carries (a, b) as a tie-break so the result is independent of cell
+  // bucket order.
   struct Cand {
     double dist;
     std::size_t a, b;
   };
   std::vector<Cand> cands;
   for (std::size_t a = 0; a < n; ++a) {
-    for (std::size_t b = a + 1; b < n; ++b) {
+    grid.for_each_candidate(a, [&](std::size_t b) {
+      if (b <= a) return;
       const double dx = pos.x[a] - pos.x[b];
       const double dy = pos.y[a] - pos.y[b];
       const double dist = std::sqrt(dx * dx + dy * dy);
       if (dist <= radius) cands.push_back({dist, a, b});
-    }
+    });
   }
-  std::sort(cands.begin(), cands.end(),
-            [](const Cand& l, const Cand& r) { return l.dist < r.dist; });
+  std::sort(cands.begin(), cands.end(), [](const Cand& l, const Cand& r) {
+    if (l.dist != r.dist) return l.dist < r.dist;
+    if (l.a != r.a) return l.a < r.a;
+    return l.b < r.b;
+  });
   for (const auto& c : cands) {
     if (g.degree(c.a) < max_degree && g.degree(c.b) < max_degree) g.add_edge(c.a, c.b);
   }
   return g;
 }
 
+Graph unit_disk_graph(const Positions& pos, double radius, std::size_t max_degree) {
+  return unit_disk_graph(pos, radius, max_degree, DomainGrid(pos, radius));
+}
+
 MobilityModel::MobilityModel(std::size_t n, double radius, std::size_t max_degree,
                              double speed, std::uint64_t seed)
-    : radius_(radius), max_degree_(max_degree), speed_(speed), rng_(seed) {
+    : radius_(radius), max_degree_(max_degree), speed_(speed), rng_(seed),
+      grid_(Positions{}, radius) {
   pos_ = random_positions(n, rng_);
   waypoints_ = random_positions(n, rng_);
+  grid_ = DomainGrid(pos_, radius_);
 }
 
 Graph MobilityModel::step() {
@@ -141,8 +156,9 @@ Graph MobilityModel::step() {
       pos_.x[i] += speed_ * dx / dist;
       pos_.y[i] += speed_ * dy / dist;
     }
+    grid_.move(i, pos_.x[i], pos_.y[i]);
   }
-  return unit_disk_graph(pos_, radius_, max_degree_);
+  return unit_disk_graph(pos_, radius_, max_degree_, grid_);
 }
 
 }  // namespace ttdc::net

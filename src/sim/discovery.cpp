@@ -51,10 +51,16 @@ DiscoveryResult run_discovery(const core::Schedule& schedule, const net::Graph& 
     const auto& receivers = schedule.receivers(t % L);
     receivers.for_each([&](std::size_t y) {
       // y hears x iff x is y's unique transmitting neighbor this slot.
-      const util::DynamicBitset active = graph.neighbors(y) & transmitters;
-      if (active.count() == 1) {
-        const std::size_t x = active.find_first();
-        if (result.first_heard[y][x] == kNever) result.first_heard[y][x] = t;
+      std::size_t active = 0;
+      std::size_t heard = kNever;
+      graph.neighbors(y).for_each([&](std::size_t x) {
+        if (transmitters.test(x)) {
+          ++active;
+          heard = x;
+        }
+      });
+      if (active == 1 && result.first_heard[y][heard] == kNever) {
+        result.first_heard[y][heard] = t;
       }
     });
   }

@@ -1,6 +1,7 @@
 #include "sim/mac.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/profile.hpp"
 #include "util/check.hpp"
@@ -9,8 +10,8 @@ namespace ttdc::sim {
 
 // ------------------------------------------------------------ base fallback
 
-bool MacProtocol::fill_slot_sets(util::DynamicBitset& receivers,
-                                 util::DynamicBitset& transmitters) const {
+bool MacProtocol::fill_slot_sets(util::SlotSet& receivers,
+                                 util::SlotSet& transmitters) const {
   // Scalar fallback for MACs that only implement the per-node interface:
   // the receiver set is derivable from can_receive(), the transmitter set
   // is not (wants_transmit() is target-dependent), so the simulator keeps
@@ -27,7 +28,20 @@ bool MacProtocol::fill_slot_sets(util::DynamicBitset& receivers,
 
 DutyCycledScheduleMac::DutyCycledScheduleMac(const core::Schedule& schedule,
                                              bool schedule_aware_senders)
-    : schedule_(schedule), aware_(schedule_aware_senders) {}
+    : schedule_(schedule), aware_(schedule_aware_senders) {
+  const std::size_t frame = schedule_.frame_length();
+  const std::size_t n = schedule_.num_nodes();
+  slot_receivers_.reserve(frame);
+  slot_transmitters_.reserve(frame);
+  for (std::size_t i = 0; i < frame; ++i) {
+    util::SlotSet r(n);
+    r.copy_from(schedule_.receivers(i));
+    slot_receivers_.push_back(std::move(r));
+    util::SlotSet t(n);
+    t.copy_from(schedule_.transmitters(i));
+    slot_transmitters_.push_back(std::move(t));
+  }
+}
 
 void DutyCycledScheduleMac::begin_slot(std::uint64_t slot, util::Xoshiro256&) {
   frame_slot_ = static_cast<std::size_t>(slot % schedule_.frame_length());
@@ -50,16 +64,16 @@ RadioState DutyCycledScheduleMac::idle_state(std::size_t node) const {
                                                      : RadioState::kSleep;
 }
 
-bool DutyCycledScheduleMac::fill_slot_sets(util::DynamicBitset& receivers,
-                                           util::DynamicBitset& transmitters) const {
+bool DutyCycledScheduleMac::fill_slot_sets(util::SlotSet& receivers,
+                                           util::SlotSet& transmitters) const {
   TTDC_PROF_SCOPE("mac.fill_slot_sets.duty_cycled");
   if (schedule_.num_nodes() != receivers.size()) {
     // Schedule built over a different universe than the simulated graph:
     // keep the scalar path, which indexes per node and stays in bounds.
     return MacProtocol::fill_slot_sets(receivers, transmitters);
   }
-  receivers.copy_from(schedule_.receivers(frame_slot_));
-  transmitters.copy_from(schedule_.transmitters(frame_slot_));
+  receivers.copy_from(slot_receivers_[frame_slot_]);
+  transmitters.copy_from(slot_transmitters_[frame_slot_]);
   return true;
 }
 
@@ -79,8 +93,8 @@ bool SlottedAlohaMac::wants_transmit(std::size_t node, std::size_t) const {
   return coin_.test(node);
 }
 
-bool SlottedAlohaMac::fill_slot_sets(util::DynamicBitset& receivers,
-                                     util::DynamicBitset& transmitters) const {
+bool SlottedAlohaMac::fill_slot_sets(util::SlotSet& receivers,
+                                     util::SlotSet& transmitters) const {
   TTDC_PROF_SCOPE("mac.fill_slot_sets.aloha");
   receivers.set_all();  // ALOHA never sleeps
   transmitters.copy_from(coin_);
@@ -115,8 +129,8 @@ RadioState UncoordinatedSleepMac::idle_state(std::size_t node) const {
   return awake_.test(node) ? RadioState::kListen : RadioState::kSleep;
 }
 
-bool UncoordinatedSleepMac::fill_slot_sets(util::DynamicBitset& receivers,
-                                           util::DynamicBitset& transmitters) const {
+bool UncoordinatedSleepMac::fill_slot_sets(util::SlotSet& receivers,
+                                           util::SlotSet& transmitters) const {
   TTDC_PROF_SCOPE("mac.fill_slot_sets.uncoordinated_sleep");
   receivers.copy_from(awake_);
   transmitters.copy_from(coin_);  // coin_ ⊆ awake_ by construction
@@ -154,8 +168,8 @@ RadioState CommonActivePeriodMac::idle_state(std::size_t) const {
   return in_active_ ? RadioState::kListen : RadioState::kSleep;
 }
 
-bool CommonActivePeriodMac::fill_slot_sets(util::DynamicBitset& receivers,
-                                           util::DynamicBitset& transmitters) const {
+bool CommonActivePeriodMac::fill_slot_sets(util::SlotSet& receivers,
+                                           util::SlotSet& transmitters) const {
   TTDC_PROF_SCOPE("mac.fill_slot_sets.common_active_period");
   if (in_active_) {
     receivers.set_all();
@@ -197,7 +211,7 @@ void ColoringTdmaMac::rebuild(const net::Graph& graph) {
   neighbor_.clear();
   neighbor_.reserve(graph.num_nodes());
   for (std::size_t v = 0; v < graph.num_nodes(); ++v) neighbor_.push_back(graph.neighbors(v));
-  color_members_.assign(num_colors_, util::DynamicBitset(graph.num_nodes()));
+  color_members_.assign(num_colors_, util::SlotSet(graph.num_nodes()));
   for (std::size_t v = 0; v < color_.size(); ++v) color_members_[color_[v]].set(v);
 }
 
@@ -214,10 +228,10 @@ bool ColoringTdmaMac::wants_transmit(std::size_t node, std::size_t) const {
   return color_[node] == current_color_;
 }
 
-bool ColoringTdmaMac::fill_slot_sets(util::DynamicBitset& receivers,
-                                     util::DynamicBitset& transmitters) const {
+bool ColoringTdmaMac::fill_slot_sets(util::SlotSet& receivers,
+                                     util::SlotSet& transmitters) const {
   TTDC_PROF_SCOPE("mac.fill_slot_sets.coloring_tdma");
-  const util::DynamicBitset& owners = color_members_[current_color_];
+  const util::SlotSet& owners = color_members_[current_color_];
   transmitters.copy_from(owners);
   // Everyone else listens. An idle owner sleeps (no neighbor shares its
   // color under a distance-2 coloring), so the batched sleep contract holds.

@@ -24,6 +24,7 @@
 #include "net/graph.hpp"
 #include "sim/radio.hpp"
 #include "util/bitset.hpp"
+#include "util/slot_set.hpp"
 #include "util/rng.hpp"
 
 namespace ttdc::sim {
@@ -66,8 +67,8 @@ class MacProtocol {
   /// queries (correct, just not word-parallel). Both bitsets are sized to
   /// the node count and arrive zeroed-or-stale; implementations must
   /// overwrite them completely and must not allocate.
-  virtual bool fill_slot_sets(util::DynamicBitset& receivers,
-                              util::DynamicBitset& transmitters) const;
+  virtual bool fill_slot_sets(util::SlotSet& receivers,
+                              util::SlotSet& transmitters) const;
 
   /// True when wants_transmit(x, y) additionally requires y to be an
   /// eligible receiver this slot (schedule-aware senders). Only consulted
@@ -96,14 +97,20 @@ class DutyCycledScheduleMac final : public MacProtocol {
   [[nodiscard]] bool can_receive(std::size_t node) const override;
   [[nodiscard]] bool wants_transmit(std::size_t node, std::size_t target) const override;
   [[nodiscard]] RadioState idle_state(std::size_t node) const override;
-  bool fill_slot_sets(util::DynamicBitset& receivers,
-                      util::DynamicBitset& transmitters) const override;
+  bool fill_slot_sets(util::SlotSet& receivers,
+                      util::SlotSet& transmitters) const override;
   [[nodiscard]] bool sender_gates_on_receiver() const override { return aware_; }
 
  private:
   const core::Schedule& schedule_;
   bool aware_;
   std::size_t frame_slot_ = 0;
+  // Per-frame-slot sets precomputed at construction as SlotSets, so
+  // fill_slot_sets() is a representation-adopting copy: sparse when the
+  // schedule's active population is sparse (the megascale regime), dense
+  // when the simulator pins its sets dense.
+  std::vector<util::SlotSet> slot_receivers_;
+  std::vector<util::SlotSet> slot_transmitters_;
 };
 
 /// Slotted ALOHA: every backlogged node transmits with probability p; all
@@ -118,8 +125,8 @@ class SlottedAlohaMac final : public MacProtocol {
   [[nodiscard]] RadioState idle_state(std::size_t) const override {
     return RadioState::kListen;  // unreachable: every node can_receive
   }
-  bool fill_slot_sets(util::DynamicBitset& receivers,
-                      util::DynamicBitset& transmitters) const override;
+  bool fill_slot_sets(util::SlotSet& receivers,
+                      util::SlotSet& transmitters) const override;
 
  private:
   double p_;
@@ -137,8 +144,8 @@ class UncoordinatedSleepMac final : public MacProtocol {
   [[nodiscard]] bool can_receive(std::size_t node) const override;
   [[nodiscard]] bool wants_transmit(std::size_t node, std::size_t target) const override;
   [[nodiscard]] RadioState idle_state(std::size_t node) const override;
-  bool fill_slot_sets(util::DynamicBitset& receivers,
-                      util::DynamicBitset& transmitters) const override;
+  bool fill_slot_sets(util::SlotSet& receivers,
+                      util::SlotSet& transmitters) const override;
 
  private:
   double awake_p_;
@@ -163,8 +170,8 @@ class CommonActivePeriodMac final : public MacProtocol {
   [[nodiscard]] bool can_receive(std::size_t node) const override;
   [[nodiscard]] bool wants_transmit(std::size_t node, std::size_t target) const override;
   [[nodiscard]] RadioState idle_state(std::size_t node) const override;
-  bool fill_slot_sets(util::DynamicBitset& receivers,
-                      util::DynamicBitset& transmitters) const override;
+  bool fill_slot_sets(util::SlotSet& receivers,
+                      util::SlotSet& transmitters) const override;
 
   [[nodiscard]] double duty_cycle() const {
     return static_cast<double>(active_slots_) / static_cast<double>(frame_length_);
@@ -191,8 +198,8 @@ class ColoringTdmaMac final : public MacProtocol {
   [[nodiscard]] bool can_receive(std::size_t node) const override;
   [[nodiscard]] bool wants_transmit(std::size_t node, std::size_t target) const override;
   [[nodiscard]] RadioState idle_state(std::size_t node) const override;
-  bool fill_slot_sets(util::DynamicBitset& receivers,
-                      util::DynamicBitset& transmitters) const override;
+  bool fill_slot_sets(util::SlotSet& receivers,
+                      util::SlotSet& transmitters) const override;
   bool on_topology_change(const net::Graph& graph) override;
 
   [[nodiscard]] std::size_t num_colors() const { return num_colors_; }
@@ -202,8 +209,8 @@ class ColoringTdmaMac final : public MacProtocol {
   void rebuild(const net::Graph& graph);
 
   std::vector<std::size_t> color_;
-  std::vector<util::DynamicBitset> neighbor_;  // adjacency snapshot at build
-  std::vector<util::DynamicBitset> color_members_;  // [color] -> node set
+  std::vector<util::SlotSet> neighbor_;  // adjacency snapshot at build
+  std::vector<util::SlotSet> color_members_;  // [color] -> node set
   std::size_t num_colors_ = 1;
   std::size_t current_color_ = 0;
   std::size_t recolor_count_ = 0;

@@ -1,12 +1,15 @@
 #include "sim/simulator.hpp"
 
-#include <bit>
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 
+#include "net/domain_grid.hpp"
 #include "obs/profile.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
+#include "util/parallel.hpp"
 
 namespace ttdc::sim {
 
@@ -16,6 +19,14 @@ constexpr auto kTransmitIdx = static_cast<std::size_t>(RadioState::kTransmit);
 constexpr auto kReceiveIdx = static_cast<std::size_t>(RadioState::kReceive);
 constexpr auto kListenIdx = static_cast<std::size_t>(RadioState::kListen);
 constexpr auto kSleepIdx = static_cast<std::size_t>(RadioState::kSleep);
+
+// Phase-2 verdict codes (compute_reception_verdicts / resolve_receptions).
+enum : std::uint8_t { kVerdictClear = 0, kVerdictAsleep = 1, kVerdictCollision = 2 };
+
+// Work-queue granularity for the sharded verdict kernel: big enough that a
+// chunk amortizes its fetch_add, small enough that uneven collision domains
+// still balance across the team.
+constexpr std::size_t kVerdictChunk = 64;
 }  // namespace
 
 Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
@@ -34,8 +45,22 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
   stats_.delivered_by_origin.assign(n, 0);
   stats_.wake_transitions.assign(n, 0);
   battery_.assign(n, config_.battery_mj);
-  dead_ = util::DynamicBitset(n);
+  dead_ = util::SlotSet(n);
   death_slot_.assign(n, kNeverDied);
+  hybrid_ = config_.hybrid_pipeline && !config_.force_scalar_pipeline;
+  if (!hybrid_) {
+    // Dense mode: every per-slot set frozen dense, so the pipeline's cost
+    // profile (and its perf baselines) is exactly the pre-hybrid one.
+    for (util::SlotSet* set :
+         {&transmitting_, &receivers_, &eligible_, &backlogged_, &unroutable_head_,
+          &prev_awake_, &listen_, &awake_now_, &woke_, &scratch_, &dead_}) {
+      set->pin_dense();
+    }
+  } else {
+    verdicts_.reserve(n);
+    shard_order_.reserve(n);
+    shard_keys_.reserve(n);
+  }
   routing_view_ = config_.shared_routing != nullptr ? config_.shared_routing : &routing_;
   if (config_.shared_routing != nullptr) {
     TTDC_ASSERT(config_.shared_routing->cached_destinations() == n,
@@ -59,10 +84,15 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
     fault_world_ = !config_.fault_plan->events().empty();
     fault_drift_ = config_.fault_plan->has_drift();
     fault_ge_ = config_.fault_plan->has_link_loss();
-    down_ = util::DynamicBitset(n);
-    jamming_ = util::DynamicBitset(n);
-    jam_active_ = util::DynamicBitset(n);
-    fault_out_ = util::DynamicBitset(n);
+    down_ = util::SlotSet(n);
+    jamming_ = util::SlotSet(n);
+    jam_active_ = util::SlotSet(n);
+    fault_out_ = util::SlotSet(n);
+    if (!hybrid_) {
+      for (util::SlotSet* set : {&down_, &jamming_, &jam_active_, &fault_out_}) {
+        set->pin_dense();
+      }
+    }
     down_since_.assign(n, 0);
   }
   if (config_.metrics != nullptr) {
@@ -183,8 +213,8 @@ void Simulator::audit_invariants() const {
 
   // MAC batched-vs-scalar cross-check (the fill_slot_sets() contract in
   // mac.hpp). Local sets: the audit must not clobber the per-slot scratch.
-  util::DynamicBitset recv(n);
-  util::DynamicBitset elig(n);
+  util::SlotSet recv(n);
+  util::SlotSet elig(n);
   if (mac_.fill_slot_sets(recv, elig)) {
     TTDC_DCHECK(recv.size() == n && elig.size() == n,
                 "fill_slot_sets resized its bitsets: ", recv.size(), " / ", elig.size());
@@ -269,6 +299,7 @@ void Simulator::step() {
     const bool mac_batched = mac_.fill_slot_sets(receivers_, eligible_);
     collect_transmissions_batched(mac_batched);
     if (fault_world_) transmitting_ |= jam_active_;
+    if (hybrid_ && config_.shard_workers > 1) compute_reception_verdicts();
     resolve_receptions(/*batched=*/true);
     if (mac_batched) {
       account_energy_batched();
@@ -334,6 +365,13 @@ void Simulator::collect_transmissions_batched(bool mac_batched) {
   tx_targets_.clear();
   transmitting_.reset_all();
   const bool gates = mac_batched && mac_.sender_gates_on_receiver();
+  // When no queue head is unroutable (the steady state of a connected
+  // deployment) the visit set below is a subset of eligible_, so the
+  // per-visit eligibility test is a constant `true`; hoisting it saves a
+  // sparse-membership search per visited node on the hybrid pipeline. The
+  // emptiness check is taken before the loop — no pop below can create an
+  // unroutable head, because pops only happen when one already exists.
+  const bool all_eligible = mac_batched && unroutable_head_.none();
   if (mac_batched) {
     scratch_.copy_from(eligible_);
     scratch_ |= unroutable_head_;
@@ -364,7 +402,8 @@ void Simulator::collect_transmissions_batched(bool mac_batched) {
         break;  // stall
       }
       const bool tx = mac_batched
-                          ? (eligible_.test(v) && (!gates || receivers_.test(hop)))
+                          ? ((all_eligible || eligible_.test(v)) &&
+                             (!gates || receivers_.test(hop)))
                           : mac_.wants_transmit(v, hop);
       if (tx) {
         tx_nodes_.push_back(v);
@@ -380,17 +419,87 @@ void Simulator::collect_transmissions_batched(bool mac_batched) {
   });
 }
 
+// Sharded phase-2 precompute (DESIGN.md §13): every pending transmission's
+// verdict — receiver asleep, collided, or clear — is a pure function of the
+// slot's frozen sets (dead_/down_/receivers_/transmitting_/graph_; nothing
+// phase 2 mutates), so the verdicts compute in parallel and the stateful
+// fold in resolve_receptions() — queue mutations, stats, channel-noise rng
+// draws — replays them serially in transmitter-index order. That makes the
+// result bit-identical at ANY worker count, the same determinism discipline
+// as the campaign barrier. Work is grouped by the receiver's collision
+// domain when SimConfig::domains is set, so a worker's chunk touches one
+// spatial region of the adjacency structure.
+void Simulator::compute_reception_verdicts() {
+  TTDC_PROF_SCOPE("sim.step.verdicts");
+  const std::size_t m = tx_nodes_.size();
+  verdicts_.resize(m);
+  use_verdicts_ = m > 0;
+  const auto verdict_of = [&](std::size_t i) -> std::uint8_t {
+    const std::size_t y = tx_targets_[i];
+    if (dead_.test(y) || (fault_world_ && down_.test(y)) || !receivers_.test(y) ||
+        transmitting_.test(y)) {
+      return kVerdictAsleep;
+    }
+    // x is a transmitting neighbor of y, so collision iff the transmitting-
+    // neighbor count exceeds one (see resolve_receptions).
+    return graph_.neighbors(y).intersection_count(transmitting_) > 1 ? kVerdictCollision
+                                                                     : kVerdictClear;
+  };
+  const int workers = config_.shard_workers;
+  if (workers <= 1 || m < config_.shard_min_items || util::in_parallel_region()) {
+    for (std::size_t i = 0; i < m; ++i) verdicts_[i] = verdict_of(i);
+    return;
+  }
+  shard_order_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) shard_order_[i] = static_cast<std::uint32_t>(i);
+  if (config_.domains != nullptr) {
+    shard_keys_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      shard_keys_[i] = config_.domains->cell_of(tx_targets_[i]);
+    }
+    // (cell, index) order: domain-grouped, deterministic, and within a cell
+    // still index-ordered so chunks stream the tx arrays forward.
+    std::sort(shard_order_.begin(), shard_order_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (shard_keys_[a] != shard_keys_[b]) return shard_keys_[a] < shard_keys_[b];
+                return a < b;
+              });
+  }
+  std::atomic<std::size_t> next{0};
+  util::parallel_workers(workers, [&](int) {
+    // Shared-queue pull: the runtime may grant fewer threads than asked, so
+    // every worker drains chunks until the queue is empty.
+    for (;;) {
+      const std::size_t begin = next.fetch_add(kVerdictChunk, std::memory_order_relaxed);
+      if (begin >= m) return;
+      const std::size_t end = std::min(begin + kVerdictChunk, m);
+      for (std::size_t j = begin; j < end; ++j) {
+        const std::size_t i = shard_order_[j];
+        verdicts_[i] = verdict_of(i);
+      }
+    }
+  });
+}
+
 // Phase 2: resolve receptions under the collision-at-receiver model.
 void Simulator::resolve_receptions(bool batched) {
   TTDC_PROF_SCOPE("sim.step.resolve");
   stats_.transmissions += tx_nodes_.size();
   if (hot_.transmissions) hot_.transmissions->inc(tx_nodes_.size());
+  const std::uint8_t* verdicts = use_verdicts_ ? verdicts_.data() : nullptr;
+  use_verdicts_ = false;
   for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
     const std::size_t x = tx_nodes_[i];
     const std::size_t y = tx_targets_[i];
-    const bool receiver_ok = batched ? receivers_.test(y) : mac_.can_receive(y);
-    if (dead_.test(y) || (fault_world_ && down_.test(y)) || !receiver_ok ||
-        transmitting_.test(y)) {
+    bool asleep;
+    if (verdicts != nullptr) {
+      asleep = verdicts[i] == kVerdictAsleep;
+    } else {
+      const bool receiver_ok = batched ? receivers_.test(y) : mac_.can_receive(y);
+      asleep = dead_.test(y) || (fault_world_ && down_.test(y)) || !receiver_ok ||
+               transmitting_.test(y);
+    }
+    if (asleep) {
       ++stats_.receiver_asleep;
       if (hot_.receiver_asleep) hot_.receiver_asleep->inc();
       trace(TraceEvent::Kind::kReceiverAsleep, y, x, queues_[x].front().id);
@@ -404,11 +513,16 @@ void Simulator::resolve_receptions(bool batched) {
     // transmitting neighbors word-parallel — no materialized intersection,
     // no allocation — gives: collision iff the count exceeds one.
     bool collision;
-    if (batched) {
+    if (verdicts != nullptr) {
+      collision = verdicts[i] == kVerdictCollision;
+    } else if (batched) {
       collision = graph_.neighbors(y).intersection_count(transmitting_) > 1;
     } else {
-      // Legacy formulation, kept verbatim as the differential reference.
-      util::DynamicBitset interferers = graph_.neighbors(y) & transmitting_;
+      // Legacy formulation, kept as the differential reference (and kept
+      // allocating: the zero-allocation test pins the batched pipeline by
+      // differencing against this one).
+      util::DynamicBitset interferers = graph_.neighbors(y).to_dense_bitset();
+      interferers &= transmitting_.as_dense();
       interferers.reset(x);
       collision = interferers.any();
     }
@@ -508,26 +622,17 @@ void Simulator::record_collision(std::size_t y, std::size_t x, std::uint64_t pac
   e.peer = static_cast<std::uint32_t>(x);
   e.kind = obs::FlightEvent::Kind::kCollided;
   // The interferer set is exactly the phase-2 intersection neighbors(y) AND
-  // transmitting_, minus the tracked transmitter x — recovered here
-  // word-parallel, without materializing a bitset, on the recording path
-  // only (the collision verdict itself never pays for this).
-  const auto& nb = graph_.neighbors(y).words();
-  const auto& tx = transmitting_.words();
+  // transmitting_, minus the tracked transmitter x — recovered here without
+  // materializing a set, on the recording path only (the collision verdict
+  // itself never pays for this).
   std::size_t count = 0;
-  for (std::size_t w = 0; w < nb.size(); ++w) {
-    util::DynamicBitset::Word word = nb[w] & tx[w];
-    while (word != 0) {
-      const std::size_t v =
-          w * util::DynamicBitset::kWordBits +
-          static_cast<std::size_t>(std::countr_zero(word));
-      word &= word - 1;
-      if (v == x) continue;
-      if (count < obs::FlightEvent::kMaxInterferers) {
-        e.interferers[count] = static_cast<std::uint32_t>(v);
-      }
-      ++count;
+  graph_.neighbors(y).for_each_intersection(transmitting_, [&](std::size_t v) {
+    if (v == x) return;
+    if (count < obs::FlightEvent::kMaxInterferers) {
+      e.interferers[count] = static_cast<std::uint32_t>(v);
     }
-  }
+    ++count;
+  });
   e.interferer_count = static_cast<std::uint8_t>(
       count > 255 ? 255 : count);
   config_.recorder->record(e);
@@ -649,7 +754,7 @@ bool Simulator::ge_lost(std::size_t x, std::size_t y) {
 // stay dead). Runs for the legacy pipeline (receivers == nullptr, virtual
 // can_receive per node) and for batched runs of scalar-only MACs
 // (receivers == &receivers_, idle_state still queried per idle node).
-void Simulator::account_energy_scalar(const util::DynamicBitset* receivers) {
+void Simulator::account_energy_scalar(const util::SlotSet* receivers) {
   TTDC_PROF_SCOPE("sim.step.energy");
   const std::size_t n = graph_.num_nodes();
   for (std::size_t v = 0; v < n; ++v) {

@@ -33,6 +33,11 @@
 #include "sim/stats.hpp"
 #include "sim/traffic.hpp"
 #include "util/rng.hpp"
+#include "util/slot_set.hpp"
+
+namespace ttdc::net {
+class DomainGrid;  // net/domain_grid.hpp
+}
 
 namespace ttdc::sim {
 
@@ -76,6 +81,39 @@ struct SimConfig {
   /// the golden tests assert exactly that; outside those tests there is no
   /// reason to set this.
   bool force_scalar_pipeline = false;
+  /// Hybrid sparse/dense pipeline (DESIGN.md §13). When set, the per-slot
+  /// node sets keep their adaptive util::SlotSet representation, so phase
+  /// costs scale with the slot's ACTIVE population instead of n — the
+  /// metropolitan-scale regime where low duty cycle means almost everyone
+  /// sleeps. When clear (the default), every per-slot set is pinned dense
+  /// and the pipeline is byte-for-byte the pre-hybrid word-parallel one.
+  /// Either way SimStats are bit-identical: representation never changes
+  /// semantics, and the golden megascale tests assert exactly that (all
+  /// five MACs, faults armed and disarmed). Ignored under
+  /// force_scalar_pipeline.
+  bool hybrid_pipeline = false;
+  /// Worker-team size for the sharded phase-2 reception kernel (hybrid
+  /// pipeline only; <= 1 keeps every phase serial). The per-transmission
+  /// verdicts (receiver-awake + collision) are pure reads of the slot's
+  /// frozen sets, so they precompute in parallel across util/parallel.hpp
+  /// workers — grouped by spatial collision domain when `domains` is set —
+  /// and the stateful fold (queue mutations, stats, channel-noise rng
+  /// draws) then replays serially in transmitter-index order. Results are
+  /// bit-identical at ANY worker count, the same discipline as the PR 4
+  /// campaign barrier. Inside an already-parallel region (campaign cells)
+  /// the kernel degrades to serial automatically.
+  int shard_workers = 0;
+  /// Minimum transmissions in a slot before phase 2 shards; below this the
+  /// parallel-region dispatch costs more than the kernel.
+  std::size_t shard_min_items = 128;
+  /// Optional spatial collision-domain grid over the topology's positions
+  /// (net/domain_grid.hpp; cell size >= transmission radius, so all of a
+  /// node's interferers are inside its 3x3 cell neighborhood). When set,
+  /// sharded phase-2 work is ordered by the receiver's cell so a worker's
+  /// chunk touches one spatial region. Must describe the simulator's
+  /// current topology and outlive it; MobilityModel::grid() maintains one
+  /// incrementally across mobility events.
+  const net::DomainGrid* domains = nullptr;
   /// Optional per-event hook; leave empty for zero overhead on the hot
   /// path beyond a branch. Structured sinks (JSONL, ring buffer, filters,
   /// fan-out) live in obs/trace.hpp and plug in via their fn() adapters.
@@ -200,9 +238,15 @@ class Simulator {
   void collect_transmissions_scalar();                 // phase 1, legacy
   void collect_transmissions_batched(bool mac_batched);  // phase 1
   void resolve_receptions(bool batched);               // phase 2
+  /// Sharded phase-2 verdict precompute (hybrid pipeline, shard_workers >
+  /// 1): fills verdicts_[i] for every pending transmission from the slot's
+  /// frozen sets, in parallel, ordered by collision domain when configured.
+  /// resolve_receptions() then consumes the verdicts in its serial
+  /// index-order fold.
+  void compute_reception_verdicts();
   /// Phase 3, node-at-a-time. `receivers` substitutes for virtual
   /// can_receive() calls when non-null (batched pipeline, scalar-only MAC).
-  void account_energy_scalar(const util::DynamicBitset* receivers);
+  void account_energy_scalar(const util::SlotSet* receivers);
   void account_energy_batched();                       // phase 3, set-driven
   void kill_node(std::size_t v);
 
@@ -333,22 +377,32 @@ class Simulator {
   std::uint64_t next_packet_id_ = 0;
 
   // Per-slot scratch, kept here so the steady-state hot path never touches
-  // the allocator (the zero-allocation invariant, DESIGN.md §8).
+  // the allocator (the zero-allocation invariant, DESIGN.md §8). All node
+  // sets are hybrid SlotSets: pinned dense outside the hybrid pipeline
+  // (making the dense pipeline exactly the pre-hybrid word-parallel one),
+  // adaptive under SimConfig::hybrid_pipeline.
   std::vector<std::size_t> tx_nodes_;
   std::vector<std::size_t> tx_targets_;
-  util::DynamicBitset transmitting_;  // this slot's transmitters
-  util::DynamicBitset receivers_;     // MAC's awake-receiver set for the slot
-  util::DynamicBitset eligible_;      // MAC's eligible-transmitter set
-  util::DynamicBitset backlogged_;    // {v : queue non-empty}, kept incrementally
-  util::DynamicBitset unroutable_head_;  // {v : head of v's queue has no route}
-  util::DynamicBitset prev_awake_;    // previous-slot awake set (wakeup accounting)
-  util::DynamicBitset listen_;        // phase-3 scratch
-  util::DynamicBitset awake_now_;     // phase-3 scratch
-  util::DynamicBitset woke_;          // phase-3 scratch
-  util::DynamicBitset scratch_;       // general per-slot scratch
+  util::SlotSet transmitting_;  // this slot's transmitters
+  util::SlotSet receivers_;     // MAC's awake-receiver set for the slot
+  util::SlotSet eligible_;      // MAC's eligible-transmitter set
+  util::SlotSet backlogged_;    // {v : queue non-empty}, kept incrementally
+  util::SlotSet unroutable_head_;  // {v : head of v's queue has no route}
+  util::SlotSet prev_awake_;    // previous-slot awake set (wakeup accounting)
+  util::SlotSet listen_;        // phase-3 scratch
+  util::SlotSet awake_now_;     // phase-3 scratch
+  util::SlotSet woke_;          // phase-3 scratch
+  util::SlotSet scratch_;       // general per-slot scratch
   std::vector<double> battery_;       // remaining mJ per node (battery_mj > 0 only)
-  util::DynamicBitset dead_;          // depleted nodes
+  util::SlotSet dead_;          // depleted nodes
   std::vector<std::uint64_t> death_slot_;  // slot of death, kNeverDied while alive
+
+  // Sharded-phase-2 scratch (hybrid pipeline with shard_workers > 1).
+  bool hybrid_ = false;          // hybrid_pipeline && !force_scalar_pipeline
+  bool use_verdicts_ = false;    // verdicts_ filled for the current slot
+  std::vector<std::uint8_t> verdicts_;      // per pending transmission
+  std::vector<std::uint32_t> shard_order_;  // tx indices, domain-grouped
+  std::vector<std::uint32_t> shard_keys_;   // receiver cell per tx index
 
   // Fault-injection state (sized / maintained only when fault_armed_).
   bool fault_armed_ = false;          // config_.fault_plan != nullptr
@@ -356,10 +410,10 @@ class Simulator {
   bool fault_drift_ = false;          // plan has drift rates
   bool fault_ge_ = false;             // plan has an armed Gilbert-Elliott channel
   std::size_t fault_cursor_ = 0;      // next unapplied plan event
-  util::DynamicBitset down_;          // crashed (recoverable) nodes
-  util::DynamicBitset jamming_;       // nodes inside a jam burst
-  util::DynamicBitset jam_active_;    // per slot: jamming_ minus dead_/down_
-  util::DynamicBitset fault_out_;     // per slot: down_ | jam_active_ (phase-1 skip set)
+  util::SlotSet down_;          // crashed (recoverable) nodes
+  util::SlotSet jamming_;       // nodes inside a jam burst
+  util::SlotSet jam_active_;    // per slot: jamming_ minus dead_/down_
+  util::SlotSet fault_out_;     // per slot: down_ | jam_active_ (phase-1 skip set)
   std::vector<std::uint64_t> down_since_;  // crash slot while down (recover aux)
   struct GeLink {
     util::Xoshiro256 rng;    // this link's private coin stream

@@ -85,6 +85,30 @@ class ConvergecastTraffic final : public TrafficSource {
   double rate_;
 };
 
+/// Fixed-size batch arrivals: exactly `batch` packets per slot from
+/// uniformly random origins to a fixed sink. Unlike the per-node Bernoulli
+/// sources above, generation costs O(batch) per slot rather than O(n) — at
+/// metropolitan scale (n = 10^4..10^6) a per-node coin flip would dominate
+/// the slot itself, hiding the pipeline costs the megascale bench measures.
+class BatchArrivalTraffic final : public TrafficSource {
+ public:
+  BatchArrivalTraffic(std::size_t num_nodes, std::size_t sink, std::size_t batch)
+      : n_(num_nodes), sink_(sink), batch_(batch) {}
+
+  void generate(std::uint64_t, util::Xoshiro256& rng, const EmitFn& emit) override {
+    for (std::size_t i = 0; i < batch_; ++i) {
+      std::size_t origin = static_cast<std::size_t>(rng.below(n_ - 1));
+      if (origin >= sink_) ++origin;  // exclude the sink as an origin
+      emit(origin, sink_);
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t sink_;
+  std::size_t batch_;
+};
+
 /// Next-hop routing (shortest hop paths) now lives in net/routing.hpp as a
 /// lazily cached table; the simulator invalidates it on topology change.
 using RoutingTable = net::RoutingTable;

@@ -1,0 +1,413 @@
+#include "util/slot_set.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ttdc::util {
+namespace {
+
+// Scratch buffers for sparse merges. thread_local so runner worker threads
+// (each owning their own simulators) never contend; buffers reach steady
+// capacity after warm-up and stop allocating.
+std::vector<std::uint32_t>& merge_scratch() {
+  static thread_local std::vector<std::uint32_t> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+std::size_t SlotSet::sparse_find(std::uint32_t pos) const {
+  const auto it = std::lower_bound(sparse_.begin(), sparse_.end(), pos);
+  if (it != sparse_.end() && *it == pos) {
+    return static_cast<std::size_t>(it - sparse_.begin());
+  }
+  return sparse_.size();
+}
+
+void SlotSet::ensure_dense_storage() {
+  if (bits_.size() != size_) {
+    bits_ = DynamicBitset(size_);
+  } else {
+    bits_.reset_all();
+  }
+}
+
+void SlotSet::promote() {
+  ensure_dense_storage();
+  for (std::uint32_t m : sparse_) bits_.set(m);
+  sparse_.clear();  // capacity retained for the next demotion
+  dense_ = true;
+}
+
+void SlotSet::demote() {
+  sparse_.clear();
+  bits_.for_each([&](std::size_t m) { sparse_.push_back(static_cast<std::uint32_t>(m)); });
+  dense_ = false;
+  count_ = sparse_.size();
+  count_valid_ = true;
+}
+
+void SlotSet::pin_dense() {
+  if (!dense_) promote();
+  pinned_ = true;
+}
+
+void SlotSet::set(std::size_t pos) {
+  TTDC_CHECK_BOUNDS(pos, size_);
+  if (dense_) {
+    if (pinned_) {
+      // Pinned sets skip count maintenance entirely so this stays the
+      // one-store DynamicBitset::set the dense pipeline was built on.
+      bits_.set(pos);
+      count_valid_ = false;
+      return;
+    }
+    if (!bits_.test(pos)) {
+      bits_.set(pos);
+      ++count_;
+    }
+    return;
+  }
+  const auto p = static_cast<std::uint32_t>(pos);
+  if (sparse_.empty() || sparse_.back() < p) {  // ascending-fill fast path
+    sparse_.push_back(p);
+  } else {
+    const auto it = std::lower_bound(sparse_.begin(), sparse_.end(), p);
+    if (it != sparse_.end() && *it == p) return;
+    sparse_.insert(it, p);
+  }
+  ++count_;
+  maybe_promote();
+}
+
+void SlotSet::reset(std::size_t pos) {
+  TTDC_CHECK_BOUNDS(pos, size_);
+  if (dense_) {
+    if (pinned_) {
+      bits_.reset(pos);
+      count_valid_ = false;
+      return;
+    }
+    if (bits_.test(pos)) {
+      bits_.reset(pos);
+      --count_;
+      maybe_demote();
+    }
+    return;
+  }
+  const std::size_t idx = sparse_find(static_cast<std::uint32_t>(pos));
+  if (idx == sparse_.size()) return;
+  sparse_.erase(sparse_.begin() + static_cast<std::ptrdiff_t>(idx));
+  --count_;
+}
+
+void SlotSet::reset_all() {
+  if (pinned_) {
+    bits_.reset_all();
+  } else {
+    dense_ = false;
+    sparse_.clear();
+  }
+  count_ = 0;
+  count_valid_ = true;
+}
+
+void SlotSet::set_all() {
+  count_ = size_;
+  count_valid_ = true;
+  if (pinned_ || size_ > promote_threshold(size_)) {
+    if (!dense_) {
+      ensure_dense_storage();
+      sparse_.clear();
+      dense_ = true;
+    }
+    bits_.set_all();
+  } else {
+    // Universe small enough that a full sparse vector is within threshold.
+    dense_ = false;
+    sparse_.resize(size_);
+    std::iota(sparse_.begin(), sparse_.end(), std::uint32_t{0});
+  }
+}
+
+void SlotSet::flip_all() {
+  const std::size_t flipped = size_ - count();
+  if (!dense_) promote();
+  bits_.flip_all();
+  count_ = flipped;
+  count_valid_ = true;
+  maybe_demote();
+}
+
+void SlotSet::copy_from(const SlotSet& other) {
+  TTDC_ASSERT(size_ == other.size_, "SlotSet::copy_from universe mismatch: ", size_,
+              " vs ", other.size_);
+  if (pinned_) {
+    if (other.dense_) {
+      bits_.copy_from(other.bits_);
+      count_ = other.count_;
+      count_valid_ = other.count_valid_;
+    } else {
+      ensure_dense_storage();
+      for (std::uint32_t m : other.sparse_) bits_.set(m);
+      count_ = other.count_;
+      count_valid_ = true;
+    }
+    return;
+  }
+  if (other.dense_) {
+    if (bits_.size() != size_) bits_ = DynamicBitset(size_);
+    bits_.copy_from(other.bits_);
+    dense_ = true;
+    sparse_.clear();
+    count_ = other.count();
+    count_valid_ = true;
+  } else {
+    sparse_ = other.sparse_;  // assign reuses capacity
+    dense_ = false;
+    count_ = sparse_.size();
+    count_valid_ = true;
+  }
+}
+
+void SlotSet::copy_from(const DynamicBitset& other) {
+  TTDC_ASSERT(size_ == other.size(), "SlotSet::copy_from universe mismatch: ", size_,
+              " vs ", other.size());
+  const std::size_t c = other.count();
+  if (pinned_ || c > promote_threshold(size_)) {
+    if (bits_.size() != size_) bits_ = DynamicBitset(size_);
+    bits_.copy_from(other);
+    dense_ = true;
+    sparse_.clear();
+  } else {
+    dense_ = false;
+    sparse_.clear();
+    other.for_each([&](std::size_t m) { sparse_.push_back(static_cast<std::uint32_t>(m)); });
+  }
+  count_ = c;
+  count_valid_ = true;
+}
+
+SlotSet& SlotSet::operator|=(const SlotSet& other) {
+  TTDC_ASSERT(size_ == other.size_, "SlotSet::operator|= universe mismatch");
+  if (dense_) {
+    if (other.dense_) {
+      bits_ |= other.bits_;
+      if (pinned_) {
+        count_valid_ = false;
+      } else {
+        count_ = bits_.count();
+        count_valid_ = true;
+      }
+    } else if (pinned_) {
+      for (std::uint32_t m : other.sparse_) bits_.set(m);
+      count_valid_ = false;
+    } else {
+      for (std::uint32_t m : other.sparse_) {
+        if (!bits_.test(m)) {
+          bits_.set(m);
+          ++count_;
+        }
+      }
+    }
+    return *this;
+  }
+  if (other.dense_) {
+    // Adopt dense: the union is at least as populous as the dense side.
+    promote();
+    bits_ |= other.bits_;
+    count_ = bits_.count();
+    count_valid_ = true;
+    maybe_demote();
+    return *this;
+  }
+  auto& scratch = merge_scratch();
+  scratch.clear();
+  scratch.reserve(sparse_.size() + other.sparse_.size());
+  std::set_union(sparse_.begin(), sparse_.end(), other.sparse_.begin(), other.sparse_.end(),
+                 std::back_inserter(scratch));
+  sparse_.swap(scratch);
+  count_ = sparse_.size();
+  maybe_promote();
+  return *this;
+}
+
+SlotSet& SlotSet::operator&=(const SlotSet& other) {
+  TTDC_ASSERT(size_ == other.size_, "SlotSet::operator&= universe mismatch");
+  if (!dense_) {
+    // Sparse side filters in place against either representation.
+    auto out = sparse_.begin();
+    for (std::uint32_t m : sparse_) {
+      if (other.test(m)) *out++ = m;
+    }
+    sparse_.erase(out, sparse_.end());
+    count_ = sparse_.size();
+    return *this;
+  }
+  if (other.dense_) {
+    bits_ &= other.bits_;
+    if (pinned_) {
+      count_valid_ = false;
+    } else {
+      count_ = bits_.count();
+      count_valid_ = true;
+      maybe_demote();
+    }
+    return *this;
+  }
+  // Dense ∩ sparse: the result is a subset of the sparse side, so at most
+  // promote_threshold members — go (or stay, when pinned, dense) with an
+  // O(|other| + words) rebuild.
+  if (pinned_) {
+    auto& survivors = merge_scratch();
+    survivors.clear();
+    for (std::uint32_t m : other.sparse_) {
+      if (bits_.test(m)) survivors.push_back(m);
+    }
+    bits_.reset_all();
+    for (std::uint32_t m : survivors) bits_.set(m);
+    count_ = survivors.size();
+    count_valid_ = true;
+    return *this;
+  }
+  sparse_.clear();
+  for (std::uint32_t m : other.sparse_) {
+    if (bits_.test(m)) sparse_.push_back(m);
+  }
+  dense_ = false;
+  count_ = sparse_.size();
+  count_valid_ = true;
+  return *this;
+}
+
+SlotSet& SlotSet::subtract(const SlotSet& other) {
+  TTDC_ASSERT(size_ == other.size_, "SlotSet::subtract universe mismatch");
+  if (!dense_) {
+    auto out = sparse_.begin();
+    for (std::uint32_t m : sparse_) {
+      if (!other.test(m)) *out++ = m;
+    }
+    sparse_.erase(out, sparse_.end());
+    count_ = sparse_.size();
+    return *this;
+  }
+  if (other.dense_) {
+    bits_.subtract(other.bits_);
+    if (pinned_) {
+      count_valid_ = false;
+    } else {
+      count_ = bits_.count();
+      count_valid_ = true;
+      maybe_demote();
+    }
+    return *this;
+  }
+  if (pinned_) {
+    for (std::uint32_t m : other.sparse_) bits_.reset(m);
+    count_valid_ = false;
+    return *this;
+  }
+  for (std::uint32_t m : other.sparse_) {
+    if (bits_.test(m)) {
+      bits_.reset(m);
+      --count_;
+    }
+  }
+  maybe_demote();
+  return *this;
+}
+
+std::size_t SlotSet::intersection_count(const SlotSet& other) const {
+  TTDC_ASSERT(size_ == other.size_, "SlotSet::intersection_count universe mismatch");
+  if (dense_ && other.dense_) return bits_.intersection_count(other.bits_);
+  if (!dense_ && other.dense_) {
+    std::size_t c = 0;
+    for (std::uint32_t m : sparse_) c += other.bits_.test(m) ? 1 : 0;
+    return c;
+  }
+  if (dense_) {
+    std::size_t c = 0;
+    for (std::uint32_t m : other.sparse_) c += bits_.test(m) ? 1 : 0;
+    return c;
+  }
+  // Sparse ∩ sparse: gallop (binary-search the smaller side into the
+  // larger) when heavily skewed, linear merge otherwise.
+  const std::vector<std::uint32_t>& small = sparse_.size() <= other.sparse_.size()
+                                                ? sparse_
+                                                : other.sparse_;
+  const std::vector<std::uint32_t>& large = sparse_.size() <= other.sparse_.size()
+                                                ? other.sparse_
+                                                : sparse_;
+  std::size_t c = 0;
+  if (small.size() * 8 < large.size()) {
+    for (std::uint32_t m : small) {
+      c += std::binary_search(large.begin(), large.end(), m) ? 1 : 0;
+    }
+    return c;
+  }
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < small.size() && j < large.size()) {
+    if (small[i] < large[j]) {
+      ++i;
+    } else if (large[j] < small[i]) {
+      ++j;
+    } else {
+      ++c;
+      ++i;
+      ++j;
+    }
+  }
+  return c;
+}
+
+std::size_t SlotSet::intersection_count(const DynamicBitset& other) const {
+  TTDC_ASSERT(size_ == other.size(), "SlotSet::intersection_count universe mismatch");
+  if (dense_) return bits_.intersection_count(other);
+  std::size_t c = 0;
+  for (std::uint32_t m : sparse_) c += other.test(m) ? 1 : 0;
+  return c;
+}
+
+bool SlotSet::intersects(const SlotSet& other) const {
+  TTDC_ASSERT(size_ == other.size_, "SlotSet::intersects universe mismatch");
+  if (dense_ && other.dense_) return bits_.intersects(other.bits_);
+  const SlotSet& sparse_side = dense_ ? other : *this;
+  const SlotSet& any_side = dense_ ? *this : other;
+  for (std::uint32_t m : sparse_side.sparse_) {
+    if (any_side.test(m)) return true;
+  }
+  return false;
+}
+
+DynamicBitset SlotSet::to_dense_bitset() const {
+  DynamicBitset out(size_);
+  if (dense_) {
+    out.copy_from(bits_);
+  } else {
+    for (std::uint32_t m : sparse_) out.set(m);
+  }
+  return out;
+}
+
+std::vector<std::size_t> SlotSet::to_vector() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t m) { out.push_back(m); });
+  return out;
+}
+
+bool SlotSet::operator==(const SlotSet& other) const {
+  if (size_ != other.size_) return false;
+  if (dense_ && other.dense_) return bits_ == other.bits_;
+  if (count() != other.count()) return false;
+  if (!dense_ && !other.dense_) return sparse_ == other.sparse_;
+  const SlotSet& s = dense_ ? other : *this;
+  const SlotSet& d = dense_ ? *this : other;
+  for (std::uint32_t m : s.sparse_) {
+    if (!d.bits_.test(m)) return false;
+  }
+  return true;
+}
+
+}  // namespace ttdc::util

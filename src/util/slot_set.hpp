@@ -1,0 +1,224 @@
+// Hybrid sparse/dense node sets for the megascale simulator pipeline.
+//
+// A SlotSet is a set over a fixed universe [0, size()) that stores its
+// members either as a sorted vector of indices (sparse) or as a
+// DynamicBitset (dense), switching representation on population count so
+// that per-slot set algebra costs O(active members) instead of O(universe)
+// when almost everyone sleeps — the regime the paper's duty-cycled
+// schedules are designed for. Every operation is representation-
+// transparent: two SlotSets holding the same members are equal and behave
+// identically regardless of how either stores them, which is what lets the
+// sharded hybrid pipeline stay bit-identical to the dense batched one
+// (DESIGN.md §13).
+//
+// Representation policy (hysteresis, so counts oscillating around a single
+// threshold never flap):
+//   * promote sparse -> dense when count() exceeds promote_threshold(n)
+//     (= max(16, n/32), the memory/scan break-even);
+//   * demote dense -> sparse when a member-removing operation leaves
+//     count() below demote_threshold(n) (= promote/2);
+//   * inside the band [demote, promote] the current representation is
+//     sticky;
+//   * copy_from() adopts the source's representation, clear() always
+//     returns to empty-sparse, and pin_dense() freezes the set dense
+//     forever (the dense batched pipeline pins every per-slot set, making
+//     its cost profile — and its perf baselines — identical to the
+//     pre-hybrid DynamicBitset code).
+//
+// The dense word storage is kept allocated across demotions and the sparse
+// vector keeps its capacity across promotions, so steady-state per-slot use
+// never touches the allocator.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/check.hpp"
+
+namespace ttdc::util {
+
+class SlotSet {
+ public:
+  using Word = DynamicBitset::Word;
+
+  SlotSet() = default;
+
+  /// Empty set over the universe [0, universe_size), sparse.
+  explicit SlotSet(std::size_t universe_size) : size_(universe_size) {}
+
+  SlotSet(std::size_t universe_size, std::initializer_list<std::size_t> members)
+      : SlotSet(universe_size) {
+    for (std::size_t m : members) set(m);
+  }
+
+  /// Population count above which a sparse set promotes to dense.
+  [[nodiscard]] static std::size_t promote_threshold(std::size_t universe_size) {
+    const std::size_t scan = universe_size / 32;
+    return scan < 16 ? 16 : scan;
+  }
+  /// Population count below which an (unpinned) dense set demotes back to
+  /// sparse. Strictly below the promote threshold: the gap is the
+  /// hysteresis band.
+  [[nodiscard]] static std::size_t demote_threshold(std::size_t universe_size) {
+    return promote_threshold(universe_size) / 2;
+  }
+
+  /// Universe size (addressable positions), not the cardinality.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Number of members. O(1) except for a pinned-dense set mutated by bulk
+  /// ops since the last query (recomputed by popcount on demand).
+  [[nodiscard]] std::size_t count() const {
+    if (!count_valid_) {
+      count_ = bits_.count();
+      count_valid_ = true;
+    }
+    return count_;
+  }
+
+  [[nodiscard]] bool none() const { return count() == 0; }
+  [[nodiscard]] bool any() const { return !none(); }
+
+  [[nodiscard]] bool is_dense() const { return dense_; }
+  [[nodiscard]] bool is_pinned_dense() const { return pinned_; }
+
+  /// Freezes the set in dense representation: no representation decisions,
+  /// no eager count maintenance — exactly a DynamicBitset with a vtable-free
+  /// mode branch. The dense batched pipeline pins all its per-slot sets.
+  void pin_dense();
+
+  [[nodiscard]] bool test(std::size_t pos) const {
+    TTDC_CHECK_BOUNDS(pos, size_);
+    if (dense_) return bits_.test(pos);
+    return sparse_find(static_cast<std::uint32_t>(pos)) != sparse_.size();
+  }
+
+  void set(std::size_t pos);
+  void reset(std::size_t pos);
+
+  /// Empties the set. Unpinned sets return to the sparse representation
+  /// (count 0 is below every demote threshold); pinned sets stay dense.
+  void reset_all();
+  /// Fills the set with the whole universe (dense unless the universe is
+  /// tiny enough that sparse would hold it anyway).
+  void set_all();
+  /// Complement within the universe.
+  void flip_all();
+
+  /// *this = other. Requires equal universes. Adopts the source
+  /// representation unless *this is pinned dense (then densifies).
+  void copy_from(const SlotSet& other);
+  /// *this = the members of a DynamicBitset over the same universe; picks
+  /// the representation by the source's population (or dense when pinned).
+  void copy_from(const DynamicBitset& other);
+
+  SlotSet& operator|=(const SlotSet& other);
+  SlotSet& operator&=(const SlotSet& other);
+  /// *this = *this AND NOT other.
+  SlotSet& subtract(const SlotSet& other);
+
+  /// |*this AND other| without materializing the intersection. Dispatches
+  /// on the representation pair: dense∩dense is the word-parallel popcount
+  /// fold, sparse∩dense walks the sparse side testing bits, sparse∩sparse
+  /// merges (galloping by binary search when one side is much smaller), so
+  /// the cost is O(min population), never O(universe).
+  [[nodiscard]] std::size_t intersection_count(const SlotSet& other) const;
+  /// |*this AND other| against a plain DynamicBitset over the same universe.
+  [[nodiscard]] std::size_t intersection_count(const DynamicBitset& other) const;
+
+  /// True if *this and other share at least one member (early-exit).
+  [[nodiscard]] bool intersects(const SlotSet& other) const;
+
+  /// Calls fn(i) for every member i in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (dense_) {
+      bits_.for_each(fn);
+    } else {
+      for (std::uint32_t m : sparse_) fn(static_cast<std::size_t>(m));
+    }
+  }
+
+  /// Calls fn(i) for every member of (*this AND other), in increasing
+  /// order, without materializing the intersection.
+  template <typename Fn>
+  void for_each_intersection(const SlotSet& other, Fn&& fn) const {
+    if (!dense_) {
+      for (std::uint32_t m : sparse_) {
+        if (other.test(m)) fn(static_cast<std::size_t>(m));
+      }
+      return;
+    }
+    if (!other.dense_) {
+      for (std::uint32_t m : other.sparse_) {
+        if (bits_.test(m)) fn(static_cast<std::size_t>(m));
+      }
+      return;
+    }
+    const auto& a = bits_.words();
+    const auto& b = other.bits_.words();
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      Word word = a[w] & b[w];
+      while (word != 0) {
+        fn(w * DynamicBitset::kWordBits +
+           static_cast<std::size_t>(std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Sorted member list when sparse (empty span view is not provided for
+  /// dense sets — callers branch on is_dense()). The sharded phase-3 fold
+  /// partitions this directly.
+  [[nodiscard]] const std::vector<std::uint32_t>& sparse_members() const {
+    TTDC_DCHECK(!dense_, "sparse_members() on a dense SlotSet");
+    return sparse_;
+  }
+
+  /// Dense word view; only valid in dense representation (checked). The
+  /// legacy scalar pipeline and fused dense kernels use this.
+  [[nodiscard]] const DynamicBitset& as_dense() const {
+    TTDC_DCHECK(dense_, "as_dense() on a sparse SlotSet");
+    return bits_;
+  }
+
+  /// Materializes a DynamicBitset copy (allocates; not for hot paths).
+  [[nodiscard]] DynamicBitset to_dense_bitset() const;
+
+  /// Members as a sorted vector.
+  [[nodiscard]] std::vector<std::size_t> to_vector() const;
+
+  /// Set equality — representation-transparent: a sparse and a dense set
+  /// holding the same members compare equal.
+  [[nodiscard]] bool operator==(const SlotSet& other) const;
+
+ private:
+  /// Index of pos in sparse_, or sparse_.size() when absent.
+  [[nodiscard]] std::size_t sparse_find(std::uint32_t pos) const;
+  void promote();
+  void demote();
+  void maybe_promote() {
+    if (!dense_ && count_ > promote_threshold(size_)) promote();
+  }
+  void maybe_demote() {
+    if (dense_ && !pinned_ && count_valid_ && count_ < demote_threshold(size_)) demote();
+  }
+  void ensure_dense_storage();
+
+  std::size_t size_ = 0;
+  bool dense_ = false;
+  bool pinned_ = false;
+  // count_ is authoritative whenever count_valid_; sparse mode keeps it
+  // valid always (== sparse_.size()), pinned-dense bulk ops invalidate it
+  // and count() recomputes lazily so the pinned hot path pays nothing.
+  mutable std::size_t count_ = 0;
+  mutable bool count_valid_ = true;
+  std::vector<std::uint32_t> sparse_;  // sorted, unique; valid when !dense_
+  DynamicBitset bits_;                 // valid when dense_; storage kept across demotions
+};
+
+}  // namespace ttdc::util

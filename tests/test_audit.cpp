@@ -148,8 +148,8 @@ class BrokenMac final : public MacProtocol {
     // sleep; for the other lies it is never consulted by the audit.
     return RadioState::kListen;
   }
-  bool fill_slot_sets(util::DynamicBitset& receivers,
-                      util::DynamicBitset& transmitters) const override {
+  bool fill_slot_sets(util::SlotSet& receivers,
+                      util::SlotSet& transmitters) const override {
     inner_.fill_slot_sets(receivers, transmitters);
     switch (lie_) {
       case Lie::kReceiverSet:

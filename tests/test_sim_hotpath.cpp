@@ -203,7 +203,7 @@ TEST(HotPathGolden, TopologyChurnKeepsPathsAligned) {
 /// batched transmit rule must mirror wants_transmit for every (v, target).
 void expect_slot_sets_match(MacProtocol& mac, std::size_t n, std::uint64_t slots) {
   util::Xoshiro256 rng(5);
-  util::DynamicBitset receivers(n), transmitters(n);
+  util::SlotSet receivers(n), transmitters(n);
   for (std::uint64_t slot = 0; slot < slots; ++slot) {
     mac.begin_slot(slot, rng);
     const bool batched = mac.fill_slot_sets(receivers, transmitters);
@@ -252,7 +252,7 @@ TEST(MacSlotSets, DefaultFallbackFillsReceiversAndReportsScalar) {
     RadioState idle_state(std::size_t) const override { return RadioState::kSleep; }
   };
   EvenListenerMac mac;
-  util::DynamicBitset receivers(6), transmitters(6);
+  util::SlotSet receivers(6), transmitters(6);
   EXPECT_FALSE(mac.fill_slot_sets(receivers, transmitters));
   for (std::size_t v = 0; v < 6; ++v) EXPECT_EQ(receivers.test(v), v % 2 == 0);
 
