@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Convert gcc/clang-style diagnostics to SARIF 2.1.0.
+
+Reads `file:line:col: level: message [check]` lines (clang-tidy, gcc
+-fanalyzer, plain -W* warnings all emit this shape) from a log file or
+stdin and writes one SARIF run, so CI can upload a uniform artifact
+bundle next to ttdc-lint's native SARIF (scripts/run_static_analysis.sh
+--sarif collects both).
+
+Usage: diag2sarif.py --tool NAME [--root DIR] [-o OUT.sarif] [LOG...]
+
+Exit status is 0 even when diagnostics are present: gating is the
+analyzer's job (this is a format converter, not a second gate).
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# path:line:col: level: message [optional-check-name]
+DIAG_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s*"
+    r"(?P<level>warning|error|note):\s*(?P<msg>.*?)"
+    r"(?:\s*\[(?P<check>[A-Za-z0-9_.,\-]+)\])?$"
+)
+
+LEVEL_MAP = {"warning": "warning", "error": "error", "note": "note"}
+
+
+def parse_lines(lines, root):
+    results = []
+    for raw in lines:
+        m = DIAG_RE.match(raw.rstrip("\n"))
+        if not m:
+            continue
+        path = m.group("file")
+        if root:
+            try:
+                rel = os.path.relpath(os.path.realpath(path), os.path.realpath(root))
+            except ValueError:
+                rel = path
+            if not rel.startswith(".."):
+                path = rel
+        path = path.replace(os.sep, "/")
+        results.append(
+            {
+                "ruleId": m.group("check") or "diagnostic",
+                "level": LEVEL_MAP[m.group("level")],
+                "message": {"text": m.group("msg")},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": path},
+                            "region": {
+                                "startLine": int(m.group("line")),
+                                "startColumn": int(m.group("col")),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return results
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--tool", required=True, help="driver name recorded in the SARIF run")
+    ap.add_argument("--root", default=None, help="repo root; paths are made relative to it")
+    ap.add_argument("-o", "--output", default=None, help="output file (default: stdout)")
+    ap.add_argument("logs", nargs="*", help="diagnostic logs (default: stdin)")
+    args = ap.parse_args()
+
+    lines = []
+    if args.logs:
+        for log in args.logs:
+            with open(log, encoding="utf-8", errors="replace") as f:
+                lines.extend(f.readlines())
+    else:
+        lines = sys.stdin.readlines()
+
+    results = parse_lines(lines, args.root)
+    # notes attached to a preceding warning are context, not findings;
+    # drop standalone notes to keep result counts meaningful.
+    results = [r for r in results if r["level"] != "note"]
+
+    sarif = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {"driver": {"name": args.tool, "informationUri": ""}},
+                "results": results,
+            }
+        ],
+    }
+    out = json.dumps(sarif, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(out + "\n")
+    else:
+        print(out)
+    print(f"diag2sarif: {len(results)} result(s) from {args.tool}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,12 @@
 #include "combinatorics/constructions.hpp"
 
 #include <array>
-#include <cassert>
 #include <limits>
 #include <stdexcept>
 
 #include "gf/field.hpp"
 #include "obs/profile.hpp"
+#include "util/check.hpp"
 
 namespace ttdc::comb {
 
@@ -106,7 +106,7 @@ SetFamily projective_plane_family(std::uint32_t q) {
     if (y != 0) {
       return static_cast<std::size_t>(q) * q + F.mul(z, F.inv(y));
     }
-    assert(z != 0);
+    TTDC_DCHECK(z != 0, "projective point (0,0,0) is not a point");
     return static_cast<std::size_t>(q) * q + q;
   };
 
@@ -133,7 +133,8 @@ SetFamily projective_plane_family(std::uint32_t q) {
     }
     for (std::uint32_t a = 0; a < q; ++a) incident(0, 1, a);
     incident(0, 0, 1);
-    assert(s.count() == static_cast<std::size_t>(q) + 1);
+    TTDC_DCHECK(s.count() == static_cast<std::size_t>(q) + 1, "projective line has ",
+                s.count(), " points, expected q+1 = ", q + 1);
     sets.push_back(std::move(s));
   }
   return SetFamily(universe, std::move(sets));

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <mutex>
 #include <sstream>
 
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/subsets.hpp"
 
@@ -13,7 +13,10 @@ namespace ttdc::comb {
 
 SetFamily::SetFamily(std::size_t universe_size, std::vector<util::DynamicBitset> sets)
     : universe_size_(universe_size), sets_(std::move(sets)) {
-  for ([[maybe_unused]] const auto& s : sets_) assert(s.size() == universe_size_);
+  for ([[maybe_unused]] const auto& s : sets_) {
+    TTDC_DCHECK(s.size() == universe_size_, "set universe ", s.size(),
+                " != family universe ", universe_size_);
+  }
 }
 
 std::size_t SetFamily::min_set_size() const {
@@ -48,7 +51,8 @@ std::size_t SetFamily::cover_free_degree_certificate() const {
 }
 
 SetFamily SetFamily::truncated(std::size_t count) const {
-  assert(count <= sets_.size());
+  TTDC_DCHECK(count <= sets_.size(), "truncated(", count, ") beyond family size ",
+              sets_.size());
   return SetFamily(universe_size_,
                    std::vector<util::DynamicBitset>(sets_.begin(), sets_.begin() + count));
 }

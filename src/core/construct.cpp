@@ -1,12 +1,12 @@
 #include "core/construct.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <vector>
 
 #include "core/throughput.hpp"
 #include "obs/profile.hpp"
+#include "util/check.hpp"
 
 namespace ttdc::core {
 
@@ -18,7 +18,7 @@ namespace {
 // only in where the windows start.
 std::vector<std::vector<std::size_t>> divide(const std::vector<std::size_t>& members,
                                              std::size_t cap, DivisionPolicy policy) {
-  assert(cap >= 1);
+  TTDC_DCHECK(cap >= 1, "divide() with zero cap");
   const std::size_t s = members.size();
   if (s == 0) return {};
   const std::size_t size = std::min(cap, s);
@@ -81,7 +81,8 @@ Schedule construct_duty_cycled(const Schedule& non_sleeping, std::size_t degree_
           for (std::size_t v = 0; v < n && rbar.count() < alpha_r; ++v) {
             if (!tbar.test(v) && !rbar.test(v)) rbar.set(v);
           }
-          assert(rbar.count() == alpha_r);
+          TTDC_DCHECK(rbar.count() == alpha_r, "receiver padding fell short: ",
+                      rbar.count(), " < alpha_r = ", alpha_r);
         }
         out_t.push_back(tbar);
         out_r.push_back(std::move(rbar));

@@ -1,8 +1,9 @@
 #include "gf/field.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace ttdc::gf {
 
@@ -155,7 +156,8 @@ std::vector<std::uint32_t> find_irreducible(std::uint32_t p, std::uint32_t m) {
       for (u64 ib = 0; ib < qb; ++ib) {
         const auto fb = decode_monic(ib, db, p);
         const auto prod = poly_mul(fa, fb, p);
-        assert(prod.size() == m + 1 && prod[m] == 1);
+        TTDC_DCHECK(prod.size() == m + 1 && prod[m] == 1,
+                    "monic product degree drifted: size ", prod.size(), " for m = ", m);
         reducible[encode_lower(prod, m, p)] = true;
       }
     }
@@ -242,7 +244,7 @@ void GaloisField::build_extension_tables() {
 }
 
 std::uint32_t GaloisField::inv(std::uint32_t a) const {
-  assert(a != 0 && a < q_);
+  TTDC_DCHECK(a != 0 && a < q_, "inv(", a, ") outside GF(", q_, ")*");
   if (m_ == 1) return static_cast<std::uint32_t>(powmod(a, p_ - 2, p_));
   return inv_table_[a];
 }

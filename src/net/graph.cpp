@@ -1,8 +1,9 @@
 #include "net/graph.hpp"
 
-#include <cassert>
 #include <queue>
 #include <sstream>
+
+#include "util/check.hpp"
 
 namespace ttdc::net {
 
@@ -10,7 +11,8 @@ Graph::Graph(std::size_t num_nodes)
     : adjacency_(num_nodes, util::SlotSet(num_nodes)) {}
 
 void Graph::add_edge(std::size_t a, std::size_t b) {
-  assert(a != b && a < num_nodes() && b < num_nodes());
+  TTDC_DCHECK(a != b && a < num_nodes() && b < num_nodes(), "add_edge(", a, ", ", b,
+              ") invalid for n = ", num_nodes());
   if (adjacency_[a].test(b)) return;
   adjacency_[a].set(b);
   adjacency_[b].set(a);

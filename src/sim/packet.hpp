@@ -34,6 +34,8 @@ class PacketQueue {
 
   /// Returns false (drop) when full.
   bool push(const Packet& p) {
+    TTDC_DCHECK(buf_.empty() ? head_ == 0 : head_ < buf_.size(),
+                "PacketQueue::push on corrupt ring: head ", head_, " capacity ", buf_.size());
     if (size_ >= buf_.size()) return false;
     std::size_t tail = head_ + size_;
     if (tail >= buf_.size()) tail -= buf_.size();

@@ -266,6 +266,7 @@ void Simulator::inject(std::size_t origin, std::size_t destination) {
 }
 
 void Simulator::run(std::uint64_t slots) {
+  TTDC_DCHECK(now_ + slots >= now_, "slot counter would wrap: now ", now_, " + ", slots);
   for (std::uint64_t s = 0; s < slots; ++s) step();
 }
 

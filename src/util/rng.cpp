@@ -1,13 +1,14 @@
 #include "util/rng.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
+
+#include "util/check.hpp"
 
 namespace ttdc::util {
 
 std::uint64_t Xoshiro256::below(std::uint64_t bound) {
-  assert(bound > 0);
+  TTDC_DCHECK(bound > 0, "below(0) is an empty range");
   // Lemire's multiply-shift with rejection for exact uniformity.
   using u128 = unsigned __int128;
   std::uint64_t x = (*this)();
@@ -33,7 +34,7 @@ Xoshiro256 Xoshiro256::split() {
 }
 
 std::vector<std::size_t> sample_k_of(std::size_t universe, std::size_t k, Xoshiro256& rng) {
-  assert(k <= universe);
+  TTDC_DCHECK(k <= universe, "sample_k_of(", universe, ", ", k, "): k exceeds universe");
   // Floyd's subset sampling: iterate j = universe-k .. universe-1, insert a
   // uniform pick from [0, j]; on collision insert j itself.
   std::unordered_set<std::size_t> chosen;

@@ -1,18 +1,20 @@
 #include "util/table.hpp"
 
-#include <cassert>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "util/check.hpp"
+
 namespace ttdc::util {
 
 Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
-  assert(!columns_.empty());
+  TTDC_DCHECK(!columns_.empty(), "Table with no columns");
 }
 
 void Table::add_row(std::vector<Cell> cells) {
-  assert(cells.size() == columns_.size());
+  TTDC_DCHECK(cells.size() == columns_.size(), "row width ", cells.size(),
+              " != column count ", columns_.size());
   rows_.push_back(std::move(cells));
 }
 

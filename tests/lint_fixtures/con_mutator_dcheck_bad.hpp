@@ -1,0 +1,40 @@
+// Fixture: CON-MUTATOR-DCHECK must fire — an audited class (declares
+// audit_invariants()) with a public mutator that checks nothing.
+#pragma once
+#include <cstddef>
+#include <vector>
+
+#define TTDC_DCHECK(cond, ...) ((void)(cond))
+
+namespace fixture {
+
+class AuditedRing {
+ public:
+  explicit AuditedRing(std::size_t capacity) : buf_(capacity) {}
+
+  // violation: public non-const mutator with no TTDC_ASSERT/TTDC_DCHECK
+  void push(int v) {
+    buf_[tail_] = v;
+    tail_ = (tail_ + 1) % buf_.size();
+  }
+
+  // fine: checks its precondition
+  void pop() {
+    TTDC_DCHECK(tail_ != head_, "pop on empty ring");
+    head_ = (head_ + 1) % buf_.size();
+  }
+
+  [[nodiscard]] std::size_t size() const { return tail_ - head_; }
+
+  void audit_invariants() const {
+    TTDC_DCHECK(head_ < buf_.size(), "head outside ring");
+    TTDC_DCHECK(tail_ < buf_.size(), "tail outside ring");
+  }
+
+ private:
+  std::vector<int> buf_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace fixture

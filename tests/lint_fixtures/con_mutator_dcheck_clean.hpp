@@ -1,0 +1,44 @@
+// Fixture: CON-MUTATOR-DCHECK must stay quiet — every public mutator of the
+// audited class checks or re-audits; const accessors, static factories, and
+// non-audited classes are out of scope.
+#pragma once
+#include <cstddef>
+#include <vector>
+
+#define TTDC_DCHECK(cond, ...) ((void)(cond))
+#define TTDC_ASSERT(cond, ...) ((void)(cond))
+
+namespace fixture {
+
+class AuditedCounter {
+ public:
+  void increment() {
+    TTDC_DCHECK(count_ + 1 != 0, "counter wrap");
+    ++count_;
+  }
+
+  void reset() {
+    count_ = 0;
+    audit_invariants();  // re-audit counts as a check
+  }
+
+  [[nodiscard]] std::size_t value() const { return count_; }
+  [[nodiscard]] static const char* name() { return "counter"; }
+
+  void audit_invariants() const { TTDC_ASSERT(count_ >= 0u, "negative count"); }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+// Not audited: mutators without checks are fine here (the class opted out
+// of the contract layer).
+class PlainAccumulator {
+ public:
+  void add(int v) { values_.push_back(v); }
+
+ private:
+  std::vector<int> values_;
+};
+
+}  // namespace fixture

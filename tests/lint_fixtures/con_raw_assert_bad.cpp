@@ -1,0 +1,13 @@
+// Fixture: CON-RAW-ASSERT must fire on raw assert() calls.
+#include <cassert>
+#include <cstddef>
+
+namespace fixture {
+
+std::size_t bad_half(std::size_t n) {
+  // violation (line 9): raw assert bypasses the FailureAction machinery
+  assert(n % 2 == 0);
+  return n / 2;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: CON-RAW-ASSERT must stay quiet — the TTDC check layer,
+// static_assert, and mentions in comments/strings (assert(x)) don't count.
+#include <cstddef>
+
+#define TTDC_ASSERT(cond, ...) ((void)(cond))
+#define TTDC_DCHECK(cond, ...) ((void)(cond))
+
+namespace fixture {
+
+static_assert(sizeof(std::size_t) >= 4, "unexpectedly small size_t");
+
+std::size_t clean_half(std::size_t n) {
+  TTDC_ASSERT(n % 2 == 0, "odd input ", n);
+  TTDC_DCHECK(n < 1u << 30, "suspiciously large ", n);
+  const char* label = "assert(never fires from a string)";
+  return n / 2 + static_cast<std::size_t>(label[0] == 'a');
+}
+
+}  // namespace fixture

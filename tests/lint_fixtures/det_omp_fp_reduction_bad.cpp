@@ -1,0 +1,28 @@
+// Fixture: DET-OMP-FP-REDUCTION must fire on float accumulation whose
+// combination order depends on thread scheduling.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+double bad_parallel_sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  // violation (line 11): reduction(+ : total) over a double
+#pragma omp parallel for reduction(+ : total)
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    total += xs[i];
+  }
+  double grand = 0.0;
+#pragma omp parallel
+  {
+    double local = 0.0;
+    // violation (line 20): += on a double inside the parallel region
+    for (std::size_t i = 0; i < xs.size(); ++i) local += xs[i];
+    // violation (line 23): thread-completion-order fold into grand
+#pragma omp critical
+    grand += local;
+  }
+  return total + grand;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: DET-OMP-FP-REDUCTION must stay quiet — integer reductions are
+// exact in any order, per-shard doubles folded SERIALLY in index order
+// outside the parallel region are bit-stable, and float += outside any omp
+// region is unaffected.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+double clean_sharded_sum(const std::vector<double>& xs, std::size_t shards) {
+  std::uint64_t hits = 0;
+  // integer reduction: associative and commutative exactly
+#pragma omp parallel for reduction(+ : hits)
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] > 0.5) ++hits;
+  }
+  std::vector<double> partial(shards, 0.0);
+#pragma omp parallel for
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::uint64_t local = 0;
+    for (std::size_t i = s; i < xs.size(); i += shards) ++local;
+    partial[s] = static_cast<double>(local);  // plain store, not a fold
+  }
+  // the serial index-order fold: deterministic at any worker count
+  double total = 0.0;
+  for (std::size_t s = 0; s < shards; ++s) total += partial[s];
+  return total + static_cast<double>(hits);
+}
+
+}  // namespace fixture

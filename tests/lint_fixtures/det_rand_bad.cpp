@@ -1,0 +1,18 @@
+// Fixture: DET-RAND must fire on every unseeded/global randomness source.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_draws() {
+  // violation (line 9): std::random_device
+  std::random_device rd;
+  // violation (line 11): mt19937 (not descended from the campaign seed)
+  std::mt19937 gen(rd());
+  // violation (line 13): srand
+  srand(42);
+  // violation (line 15): rand()
+  return rand() + static_cast<int>(gen());
+}
+
+}  // namespace fixture

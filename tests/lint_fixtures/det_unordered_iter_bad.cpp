@@ -1,0 +1,30 @@
+// Fixture: DET-UNORDERED-ITER must fire on iteration over unordered
+// containers — range-for and explicit .begin() both escape rehash-dependent
+// order into whatever consumes them.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t bad_fold(const std::vector<std::uint64_t>& keys) {
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t k : keys) {
+    counts[k] += 1;
+    seen.insert(k);
+  }
+  std::uint64_t fold = 0;
+  // violation (line 20): range-for over unordered_map
+  for (const auto& kv : counts) {
+    fold = fold * 31 + kv.second;
+  }
+  // violation (line 24): explicit iterator over unordered_set
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    fold ^= *it;
+  }
+  return fold;
+}
+
+}  // namespace fixture

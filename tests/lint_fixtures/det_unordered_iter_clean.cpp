@@ -1,0 +1,30 @@
+// Fixture: DET-UNORDERED-ITER must stay quiet — point lookups, insert,
+// erase, and count never observe iteration order, and iterating an ordered
+// map is fine.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t clean_lookups(const std::vector<std::uint64_t>& keys) {
+  std::unordered_map<std::uint64_t, std::uint64_t> memo;
+  std::map<std::uint64_t, std::uint64_t> ordered;
+  std::uint64_t fold = 0;
+  for (std::uint64_t k : keys) {
+    const auto it = memo.find(k);
+    if (it != memo.end()) {
+      fold += it->second;
+    } else {
+      memo.emplace(k, k * 2);
+      memo.erase(k + 1);
+    }
+    ordered[k] = fold;
+  }
+  // ordered (std::map) iteration is deterministic
+  for (const auto& kv : ordered) fold += kv.second;
+  return fold + memo.count(7);
+}
+
+}  // namespace fixture

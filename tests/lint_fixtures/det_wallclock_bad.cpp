@@ -1,0 +1,18 @@
+// Fixture: DET-WALLCLOCK must fire on each wall-clock read below.
+// NOT compiled — lexed by test_lint.cpp, which asserts exact locations.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+unsigned long bad_epoch_seed() {
+  // violation (line 10): system_clock in sim-state code
+  auto now = std::chrono::system_clock::now();
+  // violation (line 12): std::time() call
+  unsigned long t = static_cast<unsigned long>(std::time(nullptr));
+  // violation (line 14): clock() call
+  t += static_cast<unsigned long>(clock());
+  return t + static_cast<unsigned long>(now.time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: DET-WALLCLOCK must stay quiet — steady_clock is monotonic (a
+// duration source, not wall time), "time" as a member/field name is not a
+// read, and mentions in comments/strings don't count: system_clock, time().
+#include <chrono>
+#include <string>
+
+namespace fixture {
+
+struct Timings {
+  double time = 0.0;  // a field named `time` is fine
+  [[nodiscard]] double runtime() const { return time; }
+};
+
+double clean_elapsed() {
+  const auto start = std::chrono::steady_clock::now();
+  Timings t;
+  t.time = 1.0;
+  const std::string label = "system_clock and time() in a string literal";
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count() + t.runtime() +
+         static_cast<double>(label.size());
+}
+
+}  // namespace fixture

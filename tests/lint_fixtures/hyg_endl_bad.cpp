@@ -1,0 +1,13 @@
+// Fixture: HYG-ENDL must fire — std::endl forces a flush per line.
+#include <iostream>
+
+namespace fixture {
+
+void bad_report(int rows) {
+  for (int i = 0; i < rows; ++i) {
+    // violation (line 9)
+    std::cout << "row " << i << std::endl;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: HYG-ENDL must stay quiet — '\n' plus one explicit flush at the
+// end, and "endl" inside strings/comments (std::endl) doesn't count.
+#include <iostream>
+
+namespace fixture {
+
+void clean_report(int rows) {
+  for (int i = 0; i < rows; ++i) {
+    std::cout << "row " << i << '\n';
+  }
+  std::cout << "wrote endl-free output\n" << std::flush;
+}
+
+}  // namespace fixture

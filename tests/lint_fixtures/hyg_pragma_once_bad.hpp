@@ -1,0 +1,10 @@
+// Fixture: HYG-PRAGMA-ONCE must fire — header with an include guard but no
+// #pragma once as its first directive.
+#ifndef FIXTURE_HYG_PRAGMA_ONCE_BAD_HPP
+#define FIXTURE_HYG_PRAGMA_ONCE_BAD_HPP
+
+namespace fixture {
+inline int guarded_only() { return 1; }
+}  // namespace fixture
+
+#endif  // FIXTURE_HYG_PRAGMA_ONCE_BAD_HPP

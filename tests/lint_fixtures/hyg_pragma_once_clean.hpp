@@ -1,0 +1,7 @@
+// Fixture: HYG-PRAGMA-ONCE must stay quiet — leading comments are fine as
+// long as #pragma once is the first real directive.
+#pragma once
+
+namespace fixture {
+inline int pragma_guarded() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: HYG-USING-NAMESPACE must fire — using-directive at namespace
+// scope in a header leaks into every includer.
+#pragma once
+#include <vector>
+
+// violation (line 7)
+using namespace std;
+
+namespace fixture {
+inline vector<int> leaky_make() { return {1, 2, 3}; }
+}  // namespace fixture

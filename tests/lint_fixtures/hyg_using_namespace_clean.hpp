@@ -1,0 +1,17 @@
+// Fixture: HYG-USING-NAMESPACE must stay quiet — using-declarations for a
+// single name and namespace aliases are fine; only directives are banned.
+#pragma once
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+namespace detail_ns {
+inline std::size_t helper() { return 0; }
+}  // namespace detail_ns
+
+namespace dn = detail_ns;
+using std::size_t;
+
+inline std::vector<int> tidy_make() { return {1, 2, 3}; }
+inline std::size_t use_alias() { return dn::helper(); }
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: OBS-PROF-SCOPE must fire — functions declared hot-path in the
+// config (FixtureEngine::step and fixture_hot_fold) lack TTDC_PROF_SCOPE.
+#include <cstddef>
+#include <vector>
+
+#define TTDC_PROF_SCOPE(name) ((void)(name))
+
+namespace fixture {
+
+class FixtureEngine {
+ public:
+  void step();
+
+ private:
+  std::size_t ticks_ = 0;
+};
+
+// violation: hot-path definition without a profiling span
+void FixtureEngine::step() {
+  ++ticks_;
+}
+
+// violation: hot-path free function without a profiling span
+double fixture_hot_fold(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) acc += xs[i];
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: OBS-PROF-SCOPE must stay quiet — the declared hot-path functions
+// open a TTDC_PROF_SCOPE span, and undeclared functions need nothing.
+#include <cstddef>
+#include <vector>
+
+#define TTDC_PROF_SCOPE(name) ((void)(name))
+
+namespace fixture {
+
+class FixtureEngine {
+ public:
+  void step();
+
+ private:
+  std::size_t ticks_ = 0;
+};
+
+void FixtureEngine::step() {
+  TTDC_PROF_SCOPE("engine.step");
+  ++ticks_;
+}
+
+double fixture_hot_fold(const std::vector<double>& xs) {
+  TTDC_PROF_SCOPE("fixture.fold");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) acc += xs[i];
+  return acc;
+}
+
+// not on the hot-path list: no span required
+std::size_t fixture_cold_setup() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,64 @@
+// ttdc-lint configuration: a TOML subset parser (tables, arrays of tables,
+// string/bool/int/string-array values — all .ttdc-lint.toml needs, no
+// external dependency) and the resolved Config the rule engine consumes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ttdc::lint {
+
+/// One [[suppress]] entry. `reason` is REQUIRED non-empty: the PR 3
+/// disposition workflow ("fix or suppress with a written reason"), enforced
+/// by the parser rather than by review.
+struct Suppression {
+  std::string rule;
+  std::string file;            // repo-relative path, exact match
+  std::size_t line = 0;        // optional: 0 = any line in the file
+  std::string reason;
+  mutable bool used = false;   // set by the engine; unused entries warn
+};
+
+/// Per-rule knobs. Path semantics: a rule applies to a file iff the path
+/// starts with one of `paths` (empty = everywhere in the scan roots) and
+/// does NOT start with any of `allow` (the rule-specific exemption list,
+/// e.g. obs/bench timing for DET-WALLCLOCK).
+struct RuleConfig {
+  bool enabled = true;
+  std::vector<std::string> paths;
+  std::vector<std::string> allow;
+  /// OBS-PROF-SCOPE only: functions that must contain TTDC_PROF_SCOPE,
+  /// as "Class::name" or a free "name".
+  std::vector<std::string> hot_path;
+};
+
+struct Config {
+  std::vector<std::string> roots = {"src", "tools", "bench"};
+  std::vector<std::string> exclude;
+  std::map<std::string, RuleConfig> rules;  // keyed by rule id
+  std::vector<Suppression> suppressions;
+
+  /// Rule config with built-in defaults applied for unknown ids.
+  [[nodiscard]] const RuleConfig& rule(const std::string& id) const;
+  /// True iff `id` is enabled and `path` is inside the rule's paths and
+  /// outside its allow list.
+  [[nodiscard]] bool applies(const std::string& id, const std::string& path) const;
+  /// Marks a matching suppression used and returns it, else nullptr.
+  [[nodiscard]] const Suppression* match_suppression(const std::string& rule_id,
+                                                     const std::string& file,
+                                                     std::size_t line) const;
+};
+
+/// Built-in defaults (what an absent .ttdc-lint.toml means). The checked-in
+/// config restates these explicitly so the catalog is readable in one place.
+[[nodiscard]] Config default_config();
+
+/// Parses the TOML subset on top of default_config(). On error returns
+/// false and sets *error to "line N: what". Enforces: every [[suppress]]
+/// has rule, file, and a NON-EMPTY reason; every suppression and [rule.X]
+/// section names a known rule id.
+[[nodiscard]] bool parse_config(const std::string& text, Config* out, std::string* error);
+
+}  // namespace ttdc::lint

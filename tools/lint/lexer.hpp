@@ -1,0 +1,52 @@
+// Lexing layer for ttdc-lint: comment/string scrubbing plus a flat token
+// stream with 1-based source positions. No preprocessing, no type
+// information — rules pattern-match tokens and scrubbed lines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ttdc::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords (the lexer does not distinguish)
+  kNumber,  // numeric literal (pp-number, one token)
+  kPunct,   // one punctuation character (">>" is two kPunct tokens)
+  kString,  // a string or char literal, collapsed to its quotes
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;      // punct: the single char; string: `""` / `''`
+  std::size_t line = 0;  // 1-based
+  std::size_t col = 0;   // 1-based byte column
+};
+
+/// A lexed file: the scrub keeps the original line structure (every byte of
+/// a comment or literal body becomes a space, newlines survive) so
+/// line-oriented rules (#pragma scanning, snippets) and token positions
+/// agree with the original source.
+struct LexedFile {
+  std::string scrubbed;                 // comments/literal bodies blanked
+  std::vector<std::string> raw_lines;   // original text, split on '\n'
+  std::vector<Token> tokens;            // from the scrubbed text
+};
+
+/// Scrubs //, /**/, "..." (incl. R"delim(...)delim") and '...' then
+/// tokenizes. Never fails: malformed tails (unterminated literal/comment)
+/// scrub to end of file.
+[[nodiscard]] LexedFile lex(const std::string& text);
+
+/// tokens[i..] matches the given identifier/punct texts exactly.
+[[nodiscard]] bool match_seq(const std::vector<Token>& tokens, std::size_t i,
+                             const std::vector<std::string>& texts);
+
+/// Index of the matching closer for the opener at `open_index` (tokens with
+/// text "(" / "{" / "[" / "<"), or tokens.size() when unbalanced. For "<"
+/// the scan aborts (returns tokens.size()) on ";" at depth > 0, so a stray
+/// less-than comparison does not swallow the rest of the file.
+[[nodiscard]] std::size_t find_matching(const std::vector<Token>& tokens,
+                                        std::size_t open_index);
+
+}  // namespace ttdc::lint

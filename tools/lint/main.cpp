@@ -1,0 +1,97 @@
+// ttdc-lint CLI — the executable face of the gate.
+//
+//   ttdc-lint [--root DIR] [--config FILE] [--sarif FILE] [--list-rules]
+//
+// Exit codes: 0 clean (or everything suppressed-with-reason), 1 blocking
+// findings, 2 configuration/usage error. scripts/run_static_analysis.sh and
+// the CI Release job both treat nonzero as a hard gate failure.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "lint.hpp"
+#include "scan.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: ttdc-lint [--root DIR] [--config FILE] [--sarif FILE] [--list-rules]\n"
+      << "  --root DIR     repo root to scan (default: .)\n"
+      << "  --config FILE  lint config (default: <root>/.ttdc-lint.toml)\n"
+      << "  --sarif FILE   also write SARIF 2.1.0 to FILE\n"
+      << "  --list-rules   print the rule catalog and exit\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string config_path;
+  std::string sarif_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ttdc-lint: " << what << " requires an argument\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = next("--root");
+      if (v == nullptr) return 2;
+      root = v;
+    } else if (arg == "--config") {
+      const char* v = next("--config");
+      if (v == nullptr) return 2;
+      config_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = next("--sarif");
+      if (v == nullptr) return 2;
+      sarif_path = v;
+    } else if (arg == "--list-rules") {
+      for (const ttdc::lint::RuleInfo& r : ttdc::lint::rule_catalog()) {
+        std::cout << r.id << "\t" << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else {
+      std::cerr << "ttdc-lint: unknown argument '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (config_path.empty()) config_path = root + "/.ttdc-lint.toml";
+
+  ttdc::lint::Config config;
+  std::string error;
+  if (!ttdc::lint::load_config_file(config_path, &config, &error)) {
+    std::cerr << "ttdc-lint: config error: " << error << "\n";
+    return 2;
+  }
+
+  const std::vector<ttdc::lint::FileContent> files = ttdc::lint::collect_files(root, config);
+  if (files.empty()) {
+    std::cerr << "ttdc-lint: no source files found under '" << root
+              << "' (roots:";
+    for (const std::string& r : config.roots) std::cerr << " " << r;
+    std::cerr << ") — wrong --root?\n";
+    return 2;
+  }
+
+  const std::vector<ttdc::lint::Finding> findings = ttdc::lint::run_rules(config, files);
+
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path);
+    if (!sarif) {
+      std::cerr << "ttdc-lint: cannot write SARIF to '" << sarif_path << "'\n";
+      return 2;
+    }
+    ttdc::lint::write_sarif(findings, sarif);
+  }
+
+  return ttdc::lint::print_report(findings, config, files, std::cout);
+}

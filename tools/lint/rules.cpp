@@ -1,0 +1,709 @@
+// The ttdc-lint rule catalog (DESIGN.md §14). Each rule encodes one repo
+// invariant; see lint.hpp for why these are token-pattern heuristics and
+// not a clang AST walk. Every rule has a violating and a clean fixture in
+// tests/lint_fixtures/ — add both when adding a rule.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "config.hpp"
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace ttdc::lint {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header(const std::string& path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h") || ends_with(path, ".hh");
+}
+
+void add_finding(std::vector<Finding>& out, const std::string& rule, const std::string& file,
+                 const Token& at, std::string message) {
+  out.push_back(Finding{rule, file, at.line, at.col, std::move(message), false, {}});
+}
+
+/// Token preceded by '.' or '->' (a member access, not the global entity
+/// the DET rules target).
+bool is_member_access(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return false;
+  if (toks[i - 1].text == ".") return true;
+  return i >= 2 && toks[i - 1].text == ">" && toks[i - 2].text == "-" &&
+         toks[i - 1].col == toks[i - 2].col + 1;
+}
+
+/// toks[i] looks like the *name being declared* rather than a call: the
+/// previous token is an identifier (a type name, as in `std::uint64_t rand()`)
+/// that is not a statement keyword (`return rand()` is still a call).
+bool is_declaration_context(const std::vector<Token>& toks, std::size_t i) {
+  static const std::set<std::string> kStmtKeywords = {
+      "return", "case",   "throw", "new",    "delete", "sizeof",
+      "else",   "do",     "goto",  "co_return", "co_yield", "co_await"};
+  if (i == 0) return false;
+  const Token& prev = toks[i - 1];
+  return prev.kind == TokKind::kIdent && kStmtKeywords.count(prev.text) == 0;
+}
+
+/// toks[i] and toks[i+1] are the adjacent two-char operator `ab`.
+bool is_adjacent_pair(const std::vector<Token>& toks, std::size_t i, char a, char b) {
+  return i + 1 < toks.size() && toks[i].text.size() == 1 && toks[i].text[0] == a &&
+         toks[i + 1].text.size() == 1 && toks[i + 1].text[0] == b &&
+         toks[i].line == toks[i + 1].line && toks[i + 1].col == toks[i].col + 1;
+}
+
+// ---------------------------------------------------------------------------
+// DET-WALLCLOCK / DET-RAND: banned-identifier rules.
+
+void rule_wallclock(const std::string& path, const LexedFile& lf, std::vector<Finding>& out) {
+  static const std::set<std::string> kAlways = {
+      "system_clock", "gettimeofday", "localtime",   "gmtime", "mktime",
+      "localtime_r",  "gmtime_r",     "timespec_get"};
+  static const std::set<std::string> kCallOnly = {"time", "clock"};
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || is_member_access(toks, i)) continue;
+    const std::string& t = toks[i].text;
+    const bool banned =
+        kAlways.count(t) != 0 ||
+        (kCallOnly.count(t) != 0 && i + 1 < toks.size() && toks[i + 1].text == "(" &&
+         !is_declaration_context(toks, i));
+    if (banned) {
+      add_finding(out, "DET-WALLCLOCK", path, toks[i],
+                  "wall-clock read '" + t +
+                      "' outside obs/bench timing: sim state must be a pure function of "
+                      "seeds and config (bit-identical resume would break)");
+    }
+  }
+}
+
+void rule_rand(const std::string& path, const LexedFile& lf, std::vector<Finding>& out) {
+  static const std::set<std::string> kAlways = {"random_device", "rand_r", "drand48",
+                                                "srand48", "mt19937", "mt19937_64"};
+  static const std::set<std::string> kCallOnly = {"rand", "srand"};
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || is_member_access(toks, i)) continue;
+    const std::string& t = toks[i].text;
+    const bool banned =
+        kAlways.count(t) != 0 ||
+        (kCallOnly.count(t) != 0 && i + 1 < toks.size() && toks[i + 1].text == "(" &&
+         !is_declaration_context(toks, i));
+    if (banned) {
+      add_finding(out, "DET-RAND", path, toks[i],
+                  "unseeded/global randomness '" + t +
+                      "' outside the seed plumbing (util/rng): every draw must descend "
+                      "from the campaign seed via SplitMix64/Xoshiro256 child streams");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DET-UNORDERED-ITER: iteration over unordered containers.
+
+/// Collects names declared as std::unordered_map/unordered_set in one file
+/// (locals, members, params — all of them: iteration order of any of these
+/// escaping into a fold or output is the hazard).
+std::vector<std::string> unordered_decl_names(const LexedFile& lf) {
+  std::vector<std::string> names;
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    if (t != "unordered_map" && t != "unordered_set" && t != "unordered_multimap" &&
+        t != "unordered_multiset") {
+      continue;
+    }
+    if (i + 1 >= toks.size() || toks[i + 1].text != "<") continue;  // e.g. an #include
+    const std::size_t close = find_matching(toks, i + 1);
+    if (close >= toks.size()) continue;
+    std::size_t j = close + 1;
+    while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*" ||
+                               toks[j].text == "const")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    // `type name(` is a function declaration returning the container, not a
+    // variable of it.
+    if (j + 1 < toks.size() && toks[j + 1].text == "(") continue;
+    names.push_back(toks[j].text);
+  }
+  return names;
+}
+
+void rule_unordered_iter(const std::string& path, const LexedFile& lf,
+                         const std::set<std::string>& names, std::vector<Finding>& out) {
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || names.count(toks[i].text) == 0) continue;
+    // Range-for:  for (... : NAME)
+    if (i > 0 && toks[i - 1].text == ":" && i + 1 < toks.size() && toks[i + 1].text == ")") {
+      add_finding(out, "DET-UNORDERED-ITER", path, toks[i],
+                  "range-for over unordered container '" + toks[i].text +
+                      "': iteration order is implementation-defined and varies with "
+                      "rehash history — any fold/output over it is nondeterministic");
+      continue;
+    }
+    // Explicit iterators: NAME.begin() / cbegin / rbegin.
+    if (i + 3 < toks.size() && toks[i + 1].text == "." &&
+        (toks[i + 2].text == "begin" || toks[i + 2].text == "cbegin" ||
+         toks[i + 2].text == "rbegin") &&
+        toks[i + 3].text == "(") {
+      add_finding(out, "DET-UNORDERED-ITER", path, toks[i],
+                  "iterator over unordered container '" + toks[i].text +
+                      "' (." + toks[i + 2].text +
+                      "()): order-sensitive unless the result is re-sorted before it "
+                      "can escape");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DET-OMP-FP-REDUCTION: float accumulation inside OpenMP regions.
+
+/// Names declared with floating-point (element) type in this file.
+std::set<std::string> fp_decl_names(const LexedFile& lf) {
+  std::set<std::string> names;
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    if (t == "double" || t == "float") {
+      std::size_t j = i + 1;
+      while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*")) ++j;
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+          !(j + 1 < toks.size() && toks[j + 1].text == "(")) {
+        names.insert(toks[j].text);
+      }
+    } else if (t == "vector" || t == "array" || t == "span" || t == "valarray") {
+      if (i + 1 >= toks.size() || toks[i + 1].text != "<") continue;
+      const std::size_t close = find_matching(toks, i + 1);
+      if (close >= toks.size()) continue;
+      bool fp = false;
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (toks[k].text == "double" || toks[k].text == "float") fp = true;
+      }
+      if (!fp) continue;
+      std::size_t j = close + 1;
+      while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*" ||
+                                 toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+          !(j + 1 < toks.size() && toks[j + 1].text == "(")) {
+        names.insert(toks[j].text);
+      }
+    }
+  }
+  return names;
+}
+
+/// [start, end) token range of the statement/block governed by the pragma
+/// whose tokens begin at `i` (the '#').
+std::pair<std::size_t, std::size_t> omp_region_extent(const std::vector<Token>& toks,
+                                                      std::size_t i) {
+  const std::size_t pragma_line = toks[i].line;
+  std::size_t j = i;
+  while (j < toks.size() && toks[j].line == pragma_line) ++j;  // skip the pragma itself
+  std::size_t depth = 0;
+  for (std::size_t k = j; k < toks.size(); ++k) {
+    const std::string& t = toks[k].text;
+    if (t == "(") {
+      ++depth;
+    } else if (t == ")") {
+      if (depth > 0) --depth;
+    } else if (t == "{" && depth == 0) {
+      const std::size_t close = find_matching(toks, k);
+      return {j, close < toks.size() ? close + 1 : toks.size()};
+    } else if (t == ";" && depth == 0) {
+      return {j, k + 1};
+    } else if (t == "#") {
+      // A nested pragma (e.g. `omp for` inside `omp parallel`) before any
+      // brace: keep scanning; its statement is part of this region.
+      while (k + 1 < toks.size() && toks[k + 1].line == toks[k].line) ++k;
+    }
+  }
+  return {j, toks.size()};
+}
+
+void rule_omp_fp_reduction(const std::string& path, const LexedFile& lf,
+                           std::vector<Finding>& out) {
+  const std::set<std::string> fp = fp_decl_names(lf);
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "#" || toks[i + 1].text != "pragma" || toks[i + 2].text != "omp") {
+      continue;
+    }
+    // Only parallel-executing regions; `#pragma omp critical` alone (reached
+    // from this scan) is still inside some parallel region in real code, and
+    // scanning it separately would double-report.
+    bool parallel = false;
+    for (std::size_t k = i + 3; k < toks.size() && toks[k].line == toks[i].line; ++k) {
+      if (toks[k].text == "parallel") parallel = true;
+      // reduction(+ : x) on the pragma itself, with x floating-point.
+      if (toks[k].text == "reduction" && k + 1 < toks.size() && toks[k + 1].text == "(") {
+        const std::size_t close = find_matching(toks, k + 1);
+        for (std::size_t m = k + 2; m < close && m < toks.size(); ++m) {
+          if (toks[m].kind == TokKind::kIdent && fp.count(toks[m].text) != 0) {
+            add_finding(out, "DET-OMP-FP-REDUCTION", path, toks[m],
+                        "OpenMP reduction over floating-point '" + toks[m].text +
+                            "': combination order is unspecified, so the sum is not "
+                            "bit-stable across runs/worker counts — use a serial "
+                            "index-order fold (util::parallel_sum pattern is integer-only)");
+          }
+        }
+      }
+    }
+    if (!parallel) continue;
+    const auto [begin, end] = omp_region_extent(toks, i);
+    for (std::size_t k = begin; k + 2 < end; ++k) {
+      if (toks[k].kind != TokKind::kIdent || fp.count(toks[k].text) == 0) continue;
+      std::size_t op = k + 1;
+      if (op < end && toks[op].text == "[") {
+        const std::size_t close = find_matching(toks, op);
+        if (close >= end) continue;
+        op = close + 1;
+      }
+      if (op + 1 < end &&
+          (is_adjacent_pair(toks, op, '+', '=') || is_adjacent_pair(toks, op, '-', '='))) {
+        add_finding(out, "DET-OMP-FP-REDUCTION", path, toks[k],
+                    "floating-point '" + std::string(1, toks[op].text[0]) +
+                        "=' on '" + toks[k].text +
+                        "' inside an OpenMP region: thread-completion-order fold breaks "
+                        "the bit-identical-aggregates guarantee; accumulate per-shard "
+                        "and fold serially in index order");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CON-RAW-ASSERT.
+
+void rule_raw_assert(const std::string& path, const LexedFile& lf, std::vector<Finding>& out) {
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == "assert" &&
+        toks[i + 1].text == "(" && !is_member_access(toks, i)) {
+      add_finding(out, "CON-RAW-ASSERT", path, toks[i],
+                  "raw assert(): use TTDC_ASSERT (always on) or TTDC_DCHECK (contract "
+                  "builds) so violations report through the check layer's "
+                  "FailureAction and carry a streamed message (DESIGN.md §9)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HYG rules.
+
+void rule_pragma_once(const std::string& path, const LexedFile& lf, std::vector<Finding>& out) {
+  if (!is_header(path) || lf.tokens.empty()) return;
+  if (!match_seq(lf.tokens, 0, {"#", "pragma", "once"})) {
+    add_finding(out, "HYG-PRAGMA-ONCE", path, lf.tokens[0],
+                "header does not open with '#pragma once' (after comments): repo headers "
+                "use pragma-once guards exclusively");
+  }
+}
+
+void rule_using_namespace(const std::string& path, const LexedFile& lf,
+                          std::vector<Finding>& out) {
+  if (!is_header(path)) return;
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text == "using" && toks[i + 1].text == "namespace") {
+      add_finding(out, "HYG-USING-NAMESPACE", path, toks[i],
+                  "'using namespace' in a header leaks into every includer; "
+                  "use explicit qualification or a namespace alias");
+    }
+  }
+}
+
+void rule_endl(const std::string& path, const LexedFile& lf, std::vector<Finding>& out) {
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == "endl" &&
+        !is_member_access(toks, i)) {
+      add_finding(out, "HYG-ENDL", path, toks[i],
+                  "std::endl flushes the stream on every use; write '\\n' and flush "
+                  "explicitly where needed (hot-path I/O discipline)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared member-function scanner for CON-MUTATOR-DCHECK and OBS-PROF-SCOPE.
+
+struct BodyRange {
+  bool found = false;
+  std::size_t begin = 0, end = 0;  // token range, exclusive
+};
+
+/// After the parameter list's ')', walk the trailer (const, noexcept,
+/// override, trailing return, ctor init list) to the body '{', a ';'
+/// (declaration), or '= default/delete'. Returns the body range if any and
+/// advances *cursor past the construct. `saw_const` reports a cv-qualifier
+/// in the trailer.
+BodyRange parse_after_params(const std::vector<Token>& toks, std::size_t close_paren,
+                             std::size_t* cursor, bool* saw_const) {
+  BodyRange body;
+  *saw_const = false;
+  std::size_t j = close_paren + 1;
+  while (j < toks.size()) {
+    const std::string& t = toks[j].text;
+    if (t == "{") {
+      const std::size_t end = find_matching(toks, j);
+      body.found = true;
+      body.begin = j + 1;
+      body.end = end < toks.size() ? end : toks.size();
+      *cursor = body.end + 1;
+      return body;
+    }
+    if (t == ";") {
+      *cursor = j + 1;
+      return body;
+    }
+    if (t == "=") {  // = default / = delete / = 0
+      while (j < toks.size() && toks[j].text != ";") ++j;
+      *cursor = j + 1;
+      return body;
+    }
+    if (t == "const") *saw_const = true;
+    if (t == "(") {  // noexcept(...) or a ctor init-list initializer
+      const std::size_t m = find_matching(toks, j);
+      j = m < toks.size() ? m + 1 : toks.size();
+      continue;
+    }
+    ++j;
+  }
+  *cursor = j;
+  return body;
+}
+
+bool range_has_ident(const std::vector<Token>& toks, std::size_t begin, std::size_t end,
+                     const std::set<std::string>& names) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && names.count(toks[i].text) != 0) return true;
+  }
+  return false;
+}
+
+const std::set<std::string> kCheckMacros = {"TTDC_ASSERT", "TTDC_DCHECK", "TTDC_CHECK_BOUNDS",
+                                            "audit_invariants"};
+
+/// Finds `Class::method(...)` definitions in a file and returns each body.
+std::vector<std::pair<Token, BodyRange>> find_out_of_line(const LexedFile& lf,
+                                                          const std::string& klass,
+                                                          const std::string& method) {
+  std::vector<std::pair<Token, BodyRange>> result;
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+    if (toks[i].text != klass || !match_seq(toks, i + 1, {":", ":"}) ||
+        toks[i + 3].text != method || toks[i + 4].text != "(") {
+      continue;
+    }
+    const std::size_t close = find_matching(toks, i + 4);
+    if (close >= toks.size()) continue;
+    std::size_t cursor = 0;
+    bool saw_const = false;
+    const BodyRange body = parse_after_params(toks, close, &cursor, &saw_const);
+    if (body.found) result.emplace_back(toks[i + 3], body);
+    i = cursor > i ? cursor - 1 : i;
+  }
+  return result;
+}
+
+struct MemberFn {
+  std::string name;
+  Token at;
+  bool is_const = false;
+  bool is_static = false;
+  BodyRange body;  // !found => declaration only
+};
+
+struct ClassInfo {
+  std::string name;
+  bool audited = false;  // declares audit_invariants()
+  std::vector<MemberFn> public_fns;
+};
+
+const std::set<std::string> kNotMethodNames = {
+    "if",     "for",    "while",   "switch", "return", "sizeof",   "decltype",
+    "alignof", "static_assert", "operator", "catch",  "new",    "delete",   "throw"};
+
+std::vector<ClassInfo> scan_classes(const LexedFile& lf) {
+  std::vector<ClassInfo> classes;
+  const auto& toks = lf.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const std::string& kw = toks[i].text;
+    if (kw != "class" && kw != "struct") continue;
+    if (i > 0 && (toks[i - 1].text == "enum" || toks[i - 1].text == "friend" ||
+                  toks[i - 1].text == "<" || toks[i - 1].text == ",")) {
+      continue;  // enum class / friend decl / template parameter
+    }
+    if (toks[i + 1].kind != TokKind::kIdent) continue;
+    ClassInfo ci;
+    ci.name = toks[i + 1].text;
+    // Walk to the class body '{' (skipping base-clause) or ';' (fwd decl).
+    std::size_t j = i + 2;
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j >= toks.size() || toks[j].text == ";") continue;
+    const std::size_t body_end = find_matching(toks, j);
+    if (body_end >= toks.size()) continue;
+
+    bool is_public = kw == "struct";
+    bool pending_static = false;
+    std::size_t k = j + 1;
+    while (k < body_end) {
+      const Token& t = toks[k];
+      if (t.text == "public" || t.text == "private" || t.text == "protected") {
+        is_public = t.text == "public";
+        pending_static = false;
+        ++k;
+        continue;
+      }
+      if (t.text == "static") {
+        pending_static = true;
+        ++k;
+        continue;
+      }
+      if (t.text == ";") {
+        pending_static = false;
+        ++k;
+        continue;
+      }
+      if (t.text == "{") {  // nested aggregate/enum body without a method header
+        const std::size_t end = find_matching(toks, k);
+        k = end < toks.size() ? end + 1 : body_end;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent && k + 1 < body_end && toks[k + 1].text == "(" &&
+          kNotMethodNames.count(t.text) == 0) {
+        const bool is_ctor = t.text == ci.name;
+        const bool is_dtor = k > 0 && toks[k - 1].text == "~";
+        const std::size_t close = find_matching(toks, k + 1);
+        if (close >= body_end) {
+          ++k;
+          continue;
+        }
+        std::size_t cursor = close + 1;
+        bool saw_const = false;
+        const BodyRange body = parse_after_params(toks, close, &cursor, &saw_const);
+        if (t.text == "audit_invariants") ci.audited = true;
+        if (is_public && !is_ctor && !is_dtor) {
+          MemberFn fn;
+          fn.name = t.text;
+          fn.at = t;
+          fn.is_const = saw_const;
+          fn.is_static = pending_static;
+          fn.body = body;
+          ci.public_fns.push_back(std::move(fn));
+        }
+        pending_static = false;
+        k = cursor;
+        continue;
+      }
+      ++k;
+    }
+    classes.push_back(std::move(ci));
+  }
+  return classes;
+}
+
+void rule_mutator_dcheck(const std::string& path, const LexedFile& lf,
+                         const std::map<std::string, LexedFile>& lexed,
+                         const Config& cfg, std::vector<Finding>& out) {
+  if (!is_header(path)) return;
+  // Sibling translation unit: src/foo/bar.hpp -> src/foo/bar.cpp.
+  const LexedFile* sibling = nullptr;
+  for (const std::string ext : {".hpp", ".h"}) {
+    if (ends_with(path, ext)) {
+      const std::string cpp = path.substr(0, path.size() - ext.size()) + ".cpp";
+      const auto it = lexed.find(cpp);
+      if (it != lexed.end()) sibling = &it->second;
+    }
+  }
+  for (const ClassInfo& ci : scan_classes(lf)) {
+    if (!ci.audited) continue;
+    for (const MemberFn& fn : ci.public_fns) {
+      if (fn.is_const || fn.is_static || fn.name == "audit_invariants") continue;
+      bool checked = false;
+      bool has_definition = false;
+      Token at = fn.at;
+      std::string def_file = path;
+      if (fn.body.found) {
+        has_definition = true;
+        checked = range_has_ident(lf.tokens, fn.body.begin, fn.body.end, kCheckMacros);
+      } else if (sibling != nullptr) {
+        for (const auto& [tok, body] : find_out_of_line(*sibling, ci.name, fn.name)) {
+          has_definition = true;
+          if (range_has_ident(sibling->tokens, body.begin, body.end, kCheckMacros)) {
+            checked = true;
+          } else {
+            at = tok;  // report at the offending definition
+          }
+        }
+        if (has_definition && !checked) {
+          for (const std::string ext : {".hpp", ".h"}) {
+            if (ends_with(path, ext)) def_file = path.substr(0, path.size() - ext.size()) + ".cpp";
+          }
+        }
+      }
+      // Declaration-only with no visible definition: nothing to judge.
+      if (!has_definition || checked) continue;
+      if (!cfg.applies("CON-MUTATOR-DCHECK", def_file)) continue;
+      add_finding(out, "CON-MUTATOR-DCHECK", def_file, at,
+                  "public mutator '" + ci.name + "::" + fn.name +
+                      "' of an audited class (declares audit_invariants()) contains no "
+                      "TTDC_ASSERT/TTDC_DCHECK: mutations of contract-carrying state "
+                      "must check or re-audit what they touch (DESIGN.md §9)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OBS-PROF-SCOPE: declared hot-path functions must open a profiling span.
+
+void rule_prof_scope(const Config& cfg, const std::map<std::string, LexedFile>& lexed,
+                     std::vector<Finding>& out) {
+  static const std::set<std::string> kScope = {"TTDC_PROF_SCOPE"};
+  for (const std::string& entry : cfg.rule("OBS-PROF-SCOPE").hot_path) {
+    const std::size_t sep = entry.find("::");
+    const std::string klass = sep == std::string::npos ? "" : entry.substr(0, sep);
+    const std::string fn = sep == std::string::npos ? entry : entry.substr(sep + 2);
+    bool any_definition = false;
+    for (const auto& [path, lf] : lexed) {
+      if (!klass.empty()) {
+        for (const auto& [tok, body] : find_out_of_line(lf, klass, fn)) {
+          any_definition = true;
+          if (!range_has_ident(lf.tokens, body.begin, body.end, kScope)) {
+            add_finding(out, "OBS-PROF-SCOPE", path, tok,
+                        "hot-path function '" + entry +
+                            "' has no TTDC_PROF_SCOPE: the span tree (DESIGN.md §11) "
+                            "must cover every declared hot path or profiles silently "
+                            "lose attribution");
+          }
+        }
+        // Inline definitions inside the class body.
+        if (is_header(path)) {
+          for (const ClassInfo& ci : scan_classes(lf)) {
+            if (ci.name != klass) continue;
+            for (const MemberFn& m : ci.public_fns) {
+              if (m.name != fn || !m.body.found) continue;
+              any_definition = true;
+              if (!range_has_ident(lf.tokens, m.body.begin, m.body.end, kScope)) {
+                add_finding(out, "OBS-PROF-SCOPE", path, m.at,
+                            "hot-path function '" + entry + "' has no TTDC_PROF_SCOPE");
+              }
+            }
+          }
+        }
+      } else {
+        // Free function: ident fn '(' ... ')' ... '{' not preceded by ::/./->
+        const auto& toks = lf.tokens;
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+          if (toks[i].kind != TokKind::kIdent || toks[i].text != fn ||
+              toks[i + 1].text != "(" || is_member_access(toks, i)) {
+            continue;
+          }
+          if (i > 0 && toks[i - 1].text == ":") continue;  // qualified: SomeClass::fn
+          const std::size_t close = find_matching(toks, i + 1);
+          if (close >= toks.size()) continue;
+          std::size_t cursor = 0;
+          bool saw_const = false;
+          const BodyRange body = parse_after_params(toks, close, &cursor, &saw_const);
+          if (!body.found) continue;
+          any_definition = true;
+          if (!range_has_ident(toks, body.begin, body.end, kScope)) {
+            add_finding(out, "OBS-PROF-SCOPE", path, toks[i],
+                        "hot-path function '" + entry + "' has no TTDC_PROF_SCOPE");
+          }
+        }
+      }
+    }
+    if (!any_definition) {
+      // The drift catch: a rename must update the hot-path list, not
+      // silently drop coverage.
+      out.push_back(Finding{"OBS-PROF-SCOPE", ".ttdc-lint.toml", 1, 1,
+                            "hot-path entry '" + entry +
+                                "' matches no function definition in the scan set: "
+                                "renamed or removed? update [rule.OBS-PROF-SCOPE].hot_path",
+                            false,
+                            {}});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"DET-WALLCLOCK", "no wall-clock reads outside obs/bench timing"},
+      {"DET-RAND", "no unseeded randomness outside the util/rng seed plumbing"},
+      {"DET-UNORDERED-ITER", "no iteration over unordered containers on determinism paths"},
+      {"DET-OMP-FP-REDUCTION", "no floating-point accumulation inside OpenMP regions"},
+      {"CON-MUTATOR-DCHECK", "public mutators of audited classes must carry contract checks"},
+      {"CON-RAW-ASSERT", "no raw assert(); use the TTDC check layer"},
+      {"OBS-PROF-SCOPE", "declared hot-path functions must open TTDC_PROF_SCOPE spans"},
+      {"HYG-PRAGMA-ONCE", "headers open with #pragma once"},
+      {"HYG-USING-NAMESPACE", "no using-namespace in headers"},
+      {"HYG-ENDL", "no std::endl on hot paths"},
+  };
+  return kCatalog;
+}
+
+std::vector<Finding> run_rules(const Config& cfg, const std::vector<FileContent>& files) {
+  std::map<std::string, LexedFile> lexed;
+  for (const FileContent& f : files) lexed.emplace(f.path, lex(f.text));
+
+  // Unordered-container names are collected from the file itself plus every
+  // header in the set: a member declared in simulator.hpp may be iterated in
+  // simulator.cpp.
+  std::set<std::string> header_unordered;
+  for (const auto& [path, lf] : lexed) {
+    if (!is_header(path)) continue;
+    for (const std::string& n : unordered_decl_names(lf)) header_unordered.insert(n);
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [path, lf] : lexed) {
+    if (cfg.applies("DET-WALLCLOCK", path)) rule_wallclock(path, lf, findings);
+    if (cfg.applies("DET-RAND", path)) rule_rand(path, lf, findings);
+    if (cfg.applies("DET-UNORDERED-ITER", path)) {
+      std::set<std::string> names = header_unordered;
+      for (const std::string& n : unordered_decl_names(lf)) names.insert(n);
+      rule_unordered_iter(path, lf, names, findings);
+    }
+    if (cfg.applies("DET-OMP-FP-REDUCTION", path)) rule_omp_fp_reduction(path, lf, findings);
+    if (cfg.applies("CON-RAW-ASSERT", path)) rule_raw_assert(path, lf, findings);
+    if (cfg.applies("HYG-PRAGMA-ONCE", path)) rule_pragma_once(path, lf, findings);
+    if (cfg.applies("HYG-USING-NAMESPACE", path)) rule_using_namespace(path, lf, findings);
+    if (cfg.applies("HYG-ENDL", path)) rule_endl(path, lf, findings);
+    if (cfg.applies("CON-MUTATOR-DCHECK", path)) {
+      rule_mutator_dcheck(path, lf, lexed, cfg, findings);
+    }
+  }
+  if (cfg.rule("OBS-PROF-SCOPE").enabled) rule_prof_scope(cfg, lexed, findings);
+
+  for (Finding& f : findings) {
+    if (const Suppression* s = cfg.match_suppression(f.rule, f.file, f.line)) {
+      f.suppressed = true;
+      f.suppress_reason = s->reason;
+    }
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.col, a.rule) < std::tie(b.file, b.line, b.col, b.rule);
+  });
+  return findings;
+}
+
+bool has_blocking_findings(const std::vector<Finding>& findings) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const Finding& f) { return !f.suppressed; });
+}
+
+}  // namespace ttdc::lint

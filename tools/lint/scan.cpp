@@ -1,0 +1,159 @@
+#include "scan.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace ttdc::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_source_file(const std::string& path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h") || ends_with(path, ".hh") ||
+         ends_with(path, ".cpp") || ends_with(path, ".cc");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool load_config_file(const std::string& config_path, Config* out, std::string* error) {
+  std::ifstream in(config_path);
+  if (!in) {
+    *out = default_config();
+    return true;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!parse_config(buf.str(), out, error)) {
+    *error = config_path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::vector<FileContent> collect_files(const std::string& root, const Config& config) {
+  std::vector<FileContent> files;
+  const fs::path base(root);
+  for (const std::string& top : config.roots) {
+    const fs::path dir = base / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::string rel = fs::relative(entry.path(), base).generic_string();
+      if (!is_source_file(rel)) continue;
+      const bool excluded =
+          std::any_of(config.exclude.begin(), config.exclude.end(),
+                      [&](const std::string& p) { return rel.compare(0, p.size(), p) == 0; });
+      if (excluded) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.push_back(FileContent{std::move(rel), buf.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const FileContent& a, const FileContent& b) { return a.path < b.path; });
+  return files;
+}
+
+int print_report(const std::vector<Finding>& findings, const Config& config,
+                 const std::vector<FileContent>& files, std::ostream& out) {
+  std::map<std::string, const std::string*> texts;
+  for (const FileContent& f : files) texts.emplace(f.path, &f.text);
+
+  std::size_t blocking = 0, suppressed = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      continue;
+    }
+    ++blocking;
+    out << f.file << ":" << f.line << ":" << f.col << ": [" << f.rule << "] " << f.message
+        << "\n";
+    // The offending source line, when we have the file.
+    const auto it = texts.find(f.file);
+    if (it != texts.end() && f.line > 0) {
+      std::istringstream in(*it->second);
+      std::string line;
+      for (std::size_t i = 0; i < f.line && std::getline(in, line); ++i) {
+      }
+      out << "    | " << line << "\n";
+    }
+  }
+  for (const Suppression& s : config.suppressions) {
+    if (!s.used) {
+      out << ".ttdc-lint.toml: warning: unused suppression (" << s.rule << " in " << s.file
+          << "): rule no longer fires there — delete the entry\n";
+    }
+  }
+  out << "ttdc-lint: " << blocking << " finding" << (blocking == 1 ? "" : "s") << ", "
+      << suppressed << " suppressed (with reasons), " << files.size() << " files scanned\n";
+  return blocking == 0 ? 0 : 1;
+}
+
+void write_sarif(const std::vector<Finding>& findings, std::ostream& out) {
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+         "Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\"name\": \"ttdc-lint\", \"informationUri\": "
+         "\"DESIGN.md\", \"rules\": [\n";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out << "      {\"id\": \"" << catalog[i].id << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(catalog[i].summary) << "\"}}" << (i + 1 < catalog.size() ? "," : "")
+        << "\n";
+  }
+  out << "    ]}},\n"
+      << "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "      {\"ruleId\": \"" << f.rule << "\", \"level\": \""
+        << (f.suppressed ? "note" : "error") << "\", \"message\": {\"text\": \""
+        << json_escape(f.message) << "\"}, \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << json_escape(f.file)
+        << "\"}, \"region\": {\"startLine\": " << (f.line == 0 ? 1 : f.line)
+        << ", \"startColumn\": " << (f.col == 0 ? 1 : f.col) << "}}}]";
+    if (f.suppressed) {
+      out << ", \"suppressions\": [{\"kind\": \"external\", \"justification\": \""
+          << json_escape(f.suppress_reason) << "\"}]";
+    }
+    out << "}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }]\n}\n";
+}
+
+}  // namespace ttdc::lint

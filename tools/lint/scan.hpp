@@ -1,0 +1,37 @@
+// Filesystem layer shared by the ttdc-lint CLI and tests/test_lint.cpp:
+// config loading and scan-set enumeration (so the self-check test walks
+// exactly the tree the gate walks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "lint.hpp"
+
+namespace ttdc::lint {
+
+/// Reads and parses `config_path` (absent file = built-in defaults; that is
+/// not an error). Returns false with *error set on parse/validation errors.
+[[nodiscard]] bool load_config_file(const std::string& config_path, Config* out,
+                                    std::string* error);
+
+/// Walks config.roots under `root` collecting .hpp/.h/.hh/.cpp/.cc files,
+/// skipping config.exclude prefixes. Paths in the result are repo-relative
+/// with '/' separators, sorted. Missing roots are skipped silently (a repo
+/// without bench/ is fine).
+[[nodiscard]] std::vector<FileContent> collect_files(const std::string& root,
+                                                     const Config& config);
+
+/// Human-readable report to `out` (one line per finding plus the source
+/// line, then a summary). Returns the process exit code: 0 clean or all
+/// findings suppressed, 1 blocking findings.
+int print_report(const std::vector<Finding>& findings, const Config& config,
+                 const std::vector<FileContent>& files, std::ostream& out);
+
+/// SARIF 2.1.0 document for CI artifact upload. Suppressed findings are
+/// included with their justification (level "note"); blocking findings are
+/// level "error".
+void write_sarif(const std::vector<Finding>& findings, std::ostream& out);
+
+}  // namespace ttdc::lint
