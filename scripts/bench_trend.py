@@ -74,7 +74,17 @@ def compare(name, baseline_path, report_path, band, regressions):
     if base is None or cur is None:
         print()
         return
-    for key in sorted(base):
+    # Union of keys: metrics added since the baseline/previous snapshot
+    # (e.g. the fast-forward split in BENCH_lifetime) surface as "(new)"
+    # informational rows instead of being silently dropped — and never
+    # count as regressions, so --strict stays safe across snapshots that
+    # straddle the metric's introduction.
+    for key in sorted(set(base) | set(cur)):
+        if key not in base:
+            c = cur[key]
+            shown = f"{c:>12.4g}" if isinstance(c, (int, float)) else f"{c!r:>12}"
+            print(f"  {key:40s} baseline      (new)    current {shown}")
+            continue
         b, c = base[key], cur.get(key)
         if c is None:
             print(f"  {key:40s} baseline {b:>12.4g}  current      MISSING")

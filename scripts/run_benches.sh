@@ -14,7 +14,8 @@
 # combined output is stable regardless of completion order.
 #
 # --perf-check: runs only the perf-gated benches (bench_sim_hotpath,
-# bench_campaign, bench_fault_resilience, bench_megascale) and compares
+# bench_campaign, bench_fault_resilience, bench_megascale,
+# bench_fastforward) and compares
 # them against the committed baselines
 # (bench/baselines/), failing on a >25% regression of any *_speedup metric.
 # The speedups are gated because the paired measurement cancels machine
@@ -114,10 +115,10 @@ EOF
 
 if [ "$perf_check" -eq 1 ]; then
   cmake --build "$build_dir" -j "$(nproc)" --target bench_sim_hotpath bench_campaign \
-    bench_fault_resilience bench_megascale
+    bench_fault_resilience bench_megascale bench_fastforward
   status=0
   for spec in "bench_sim_hotpath:" "bench_campaign:--perf-check" "bench_fault_resilience:" \
-              "bench_megascale:"; do
+              "bench_megascale:" "bench_fastforward:"; do
     name="${spec%%:*}"
     flag="${spec#*:}"
     echo "=== $name (perf check) ==="

@@ -117,6 +117,12 @@ class CellContext {
   /// success).
   [[nodiscard]] std::uint32_t attempt() const { return attempts_; }
 
+  /// Campaign-wide fast-forward opt-in (CampaignOptions::fast_forward),
+  /// for cell bodies to pass into SimConfig::fast_forward. Stats-neutral
+  /// by the fast-forward contract, so honoring it never changes a cell's
+  /// journal contribution.
+  [[nodiscard]] bool fast_forward() const { return fast_forward_; }
+
   /// Watchdog probes (always false / no-op without a cell timeout). The
   /// watchdog is cooperative: long-running cell bodies call
   /// check_deadline() between simulation chunks; the runner additionally
@@ -134,6 +140,7 @@ class CellContext {
   std::uint64_t seed_ = 0;
   ArtifactStore* artifacts_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  bool fast_forward_ = false;
   sim::SimStats stats_;
   std::vector<std::pair<std::string, double>> metrics_out_;
   std::vector<sim::TraceEvent> trace_;
@@ -266,6 +273,13 @@ struct CampaignOptions {
   /// events at the barrier, grouped by cell in index order. Needs no
   /// thread safety: it is only ever called from the merging thread.
   std::function<void(const sim::TraceEvent&)> trace;
+  /// Campaign-wide frame fast-forwarding opt-in, surfaced to cell bodies
+  /// via CellContext::fast_forward() for wiring into
+  /// SimConfig::fast_forward. Purely advisory: fast-forwarded cells
+  /// produce bit-identical SimStats (sim/fastforward.hpp), so journal
+  /// contributions — and therefore checkpoint/resume byte-identity — are
+  /// unaffected by flipping this.
+  bool fast_forward = false;
 };
 
 class Campaign {

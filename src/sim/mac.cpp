@@ -44,7 +44,7 @@ DutyCycledScheduleMac::DutyCycledScheduleMac(const core::Schedule& schedule,
 }
 
 void DutyCycledScheduleMac::begin_slot(std::uint64_t slot, util::Xoshiro256&) {
-  frame_slot_ = static_cast<std::size_t>(slot % schedule_.frame_length());
+  frame_slot_ = schedule_.frame_phase(slot);
 }
 
 bool DutyCycledScheduleMac::can_receive(std::size_t node) const {

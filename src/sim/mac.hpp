@@ -75,6 +75,20 @@ class MacProtocol {
   /// when fill_slot_sets() returned true.
   [[nodiscard]] virtual bool sender_gates_on_receiver() const { return false; }
 
+  /// Fast-forward period: the frame length L such that this MAC's behavior
+  /// is a PURE function of slot % L — no per-slot randomness, no hidden
+  /// state evolving across frames. Returning L > 0 is the MAC's half of the
+  /// frame-memoization contract (sim/fastforward.hpp): the simulator may
+  /// skip begin_slot() for entire [kL, (k+1)L) windows and re-enter at any
+  /// later frame boundary, because begin_slot(s) reconstructs everything
+  /// from s alone. Randomized MACs (ALOHA, uncoordinated sleep, common
+  /// active period) keep the default 0: they draw per-slot coins from the
+  /// simulator stream, so no frame ever repeats exactly and fast-forwarding
+  /// must stay disarmed. The value may change after on_topology_change()
+  /// (the coloring TDMA recolors); the simulator re-queries it at every
+  /// frame boundary.
+  [[nodiscard]] virtual std::uint64_t fast_forward_period() const { return 0; }
+
   /// Topology-change hook. Topology-transparent MACs ignore it; the
   /// coloring TDMA must rebuild. Returns true if the MAC had to
   /// reconfigure (counted by the mobility experiment).
@@ -100,6 +114,9 @@ class DutyCycledScheduleMac final : public MacProtocol {
   bool fill_slot_sets(util::SlotSet& receivers,
                       util::SlotSet& transmitters) const override;
   [[nodiscard]] bool sender_gates_on_receiver() const override { return aware_; }
+  [[nodiscard]] std::uint64_t fast_forward_period() const override {
+    return schedule_.frame_length();  // deterministic: <T, R> repeats every frame
+  }
 
  private:
   const core::Schedule& schedule_;
@@ -204,6 +221,11 @@ class ColoringTdmaMac final : public MacProtocol {
 
   [[nodiscard]] std::size_t num_colors() const { return num_colors_; }
   [[nodiscard]] std::size_t recolor_count() const { return recolor_count_; }
+  /// Deterministic TDMA: the slot owner is slot % num_colors, so the frame
+  /// is the color count. Changes when on_topology_change() recolors (the
+  /// simulator re-queries per frame boundary and its memo is invalidated on
+  /// every set_graph anyway).
+  [[nodiscard]] std::uint64_t fast_forward_period() const override { return num_colors_; }
 
  private:
   void rebuild(const net::Graph& graph);

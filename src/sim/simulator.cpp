@@ -44,7 +44,15 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
   stats_.state_slots.assign(n, {0, 0, 0, 0});
   stats_.delivered_by_origin.assign(n, 0);
   stats_.wake_transitions.assign(n, 0);
-  battery_.assign(n, config_.battery_mj);
+  // Battery state is integer (nano-mJ units, see the header): converted
+  // once here, drained in exact integer steps from then on.
+  const auto to_units = [](double mj) {
+    return static_cast<std::int64_t>(
+        std::llround(mj * static_cast<double>(kBatteryUnitsPerMj)));
+  };
+  TTDC_ASSERT(config_.battery_mj >= 0.0 && config_.battery_mj < 9.0e9,
+              "battery_mj ", config_.battery_mj, " outside the representable range");
+  battery_.assign(n, to_units(config_.battery_mj));
   dead_ = util::SlotSet(n);
   death_slot_.assign(n, kNeverDied);
   hybrid_ = config_.hybrid_pipeline && !config_.force_scalar_pipeline;
@@ -69,9 +77,11 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
   }
   tx_nodes_.reserve(n);
   tx_targets_.reserve(n);
-  e_transmit_ = config_.energy.energy_mj(RadioState::kTransmit, 1);
-  e_listen_ = config_.energy.energy_mj(RadioState::kListen, 1);
-  e_sleep_ = config_.energy.energy_mj(RadioState::kSleep, 1);
+  b_transmit_ = to_units(config_.energy.energy_mj(RadioState::kTransmit, 1));
+  b_receive_ = to_units(config_.energy.energy_mj(RadioState::kReceive, 1));
+  b_listen_ = to_units(config_.energy.energy_mj(RadioState::kListen, 1));
+  b_sleep_ = to_units(config_.energy.energy_mj(RadioState::kSleep, 1));
+  b_wakeup_ = to_units(config_.energy.wakeup_mj);
   tracing_ = static_cast<bool>(config_.trace);
   fault_armed_ = config_.fault_plan != nullptr;
   if (fault_armed_) {
@@ -125,6 +135,38 @@ Simulator::Simulator(net::Graph graph, MacProtocol& mac, TrafficSource& traffic,
           &m.counter("ttdc_sim_drift_losses_total", "losses to clock drift");
     }
   }
+  // Fast-forward arming (see the SimConfig knob). Beyond the explicit
+  // opt-in, every per-slot randomness source must be absent: the scalar
+  // pipeline and channel imperfections draw from rng_ on paths a replay
+  // would skip, a tracing hook expects per-slot events, and an opaque
+  // traffic source cannot prove a frame silent. Randomized MACs disarm
+  // dynamically instead — fast_forward_period() == 0 keeps run() stepping.
+  if (config_.fast_forward && !config_.force_scalar_pipeline && !tracing_ &&
+      config_.packet_error_rate == 0.0 && config_.sync_miss_rate == 0.0 &&
+      traffic_.supports_lookahead()) {
+    ff_ = std::make_unique<FastForwardState>();
+    if (config_.metrics != nullptr) {
+      obs::MetricsRegistry& m = *config_.metrics;
+      ff_->m_frames_replayed =
+          &m.counter("ttdc_sim_ff_frames_replayed_total", "frames applied from the memo");
+      ff_->m_slots_replayed =
+          &m.counter("ttdc_sim_ff_slots_replayed_total", "slots covered by replayed frames");
+      ff_->m_frames_recorded =
+          &m.counter("ttdc_sim_ff_frames_recorded_total", "frames stepped and memoized");
+      ff_->m_fallback_arrival = &m.counter("ttdc_sim_ff_fallback_arrival_total",
+                                           "fast-forward vetoes: arrival inside the frame");
+      ff_->m_fallback_fault_event =
+          &m.counter("ttdc_sim_ff_fallback_fault_event_total",
+                     "fast-forward vetoes: fault event inside the frame");
+      ff_->m_fallback_battery =
+          &m.counter("ttdc_sim_ff_fallback_battery_total",
+                     "fast-forward vetoes: battery death crossing inside the window");
+      ff_->m_fallback_recorder = &m.counter("ttdc_sim_ff_fallback_recorder_total",
+                                            "fast-forward vetoes: armed flight recorder");
+      ff_->m_fallback_verify = &m.counter("ttdc_sim_ff_fallback_verify_total",
+                                          "fast-forward vetoes: pre-state verify mismatch");
+    }
+  }
 }
 
 void Simulator::set_graph(net::Graph graph) {
@@ -140,6 +182,13 @@ void Simulator::set_graph(net::Graph graph) {
   // head against the new topology.
   backlogged_.for_each([&](std::size_t v) { refresh_head_routability(v); });
   mac_.on_topology_change(graph_);
+  if (ff_ != nullptr) {
+    // Every memoized frame was recorded against the old adjacency; the
+    // epoch bump keeps even an identically-hashed world from matching.
+    ++ff_->graph_epoch;
+    ff_->memo.clear();
+    ++ff_->stats.graph_invalidations;
+  }
 }
 
 void Simulator::audit_invariants() const {
@@ -172,9 +221,9 @@ void Simulator::audit_invariants() const {
                 "dead_ bit for node ", v, " disagrees with death_slot_ ", death_slot_[v]);
     if (config_.battery_mj > 0.0) {
       if (dead_.test(v)) {
-        TTDC_DCHECK(battery_[v] == 0.0, "dead node ", v, " holds ", battery_[v], " mJ");
+        TTDC_DCHECK(battery_[v] == 0, "dead node ", v, " holds ", battery_[v], " units");
       } else {
-        TTDC_DCHECK(battery_[v] > 0.0, "alive node ", v, " at ", battery_[v], " mJ");
+        TTDC_DCHECK(battery_[v] > 0, "alive node ", v, " at ", battery_[v], " units");
       }
     }
   }
@@ -267,7 +316,31 @@ void Simulator::inject(std::size_t origin, std::size_t destination) {
 
 void Simulator::run(std::uint64_t slots) {
   TTDC_DCHECK(now_ + slots >= now_, "slot counter would wrap: now ", now_, " + ", slots);
-  for (std::uint64_t s = 0; s < slots; ++s) step();
+  const std::uint64_t end = now_ + slots;
+  if (ff_ == nullptr) {
+    while (now_ < end) step();
+    return;
+  }
+  // Fast-forward loop: at every frame boundary with a whole frame left in
+  // the run, offer the frame to the engine; everywhere else (the stretch to
+  // the next boundary after a fallback, ragged tail, period-0 MAC) step
+  // slot-accurately in a loop as tight as the disarmed one — the boundary
+  // probe must stay off the per-slot path or an armed-but-always-vetoed
+  // engine taxes every slot (the disarmed_overhead gate in
+  // bench_fastforward). The period is re-queried each boundary because it
+  // may change under a recoloring MAC.
+  while (now_ < end) {
+    const std::uint64_t period = mac_.fast_forward_period();
+    if (period != 0 && now_ % period == 0 && end - now_ >= period &&
+        try_fast_forward(period, end)) {
+      continue;
+    }
+    std::uint64_t next = end;
+    if (period != 0) {
+      next = std::min(end, now_ + period - now_ % period);
+    }
+    while (now_ < next) step();
+  }
 }
 
 void Simulator::step() {
@@ -641,7 +714,7 @@ void Simulator::record_collision(std::size_t y, std::size_t x, std::uint64_t pac
 
 void Simulator::kill_node(std::size_t v) {
   dead_.set(v);
-  battery_[v] = 0.0;
+  battery_[v] = 0;
   death_slot_[v] = now_;
   ++stats_.deaths;
   stats_.first_death_slot = std::min(stats_.first_death_slot, now_);
@@ -693,8 +766,9 @@ void Simulator::apply_fault_event(const FaultEvent& e) {
       flight(obs::FlightEvent::Kind::kFaultBatterySpike,
              static_cast<std::uint32_t>(e.magnitude_mj));
       if (config_.battery_mj > 0.0) {
-        battery_[v] -= e.magnitude_mj;
-        if (battery_[v] <= 0.0) kill_node(v);
+        battery_[v] -= static_cast<std::int64_t>(
+            std::llround(e.magnitude_mj * static_cast<double>(kBatteryUnitsPerMj)));
+        if (battery_[v] <= 0) kill_node(v);
       }
       return;
     case FaultEvent::Kind::kJamStart:
@@ -781,9 +855,16 @@ void Simulator::account_energy_scalar(const util::SlotSet* receivers) {
       prev_awake_.set(v);
     }
     if (config_.battery_mj > 0.0) {
-      battery_[v] -= config_.energy.energy_mj(state, 1);
-      if (woke) battery_[v] -= config_.energy.wakeup_mj;
-      if (battery_[v] <= 0.0) kill_node(v);
+      std::int64_t cost;
+      switch (state) {
+        case RadioState::kTransmit: cost = b_transmit_; break;
+        case RadioState::kReceive: cost = b_receive_; break;
+        case RadioState::kListen: cost = b_listen_; break;
+        default: cost = b_sleep_; break;
+      }
+      battery_[v] -= cost;
+      if (woke) battery_[v] -= b_wakeup_;
+      if (battery_[v] <= 0) kill_node(v);
     }
   }
 }
@@ -812,18 +893,17 @@ void Simulator::account_energy_batched() {
     // State cost first, then the wakeup surcharge, then the death check —
     // the same per-node subtraction order as the scalar pipeline, so the
     // battery trajectory is bit-identical.
-    transmitting_.for_each([&](std::size_t v) { battery_[v] -= e_transmit_; });
-    listen_.for_each([&](std::size_t v) { battery_[v] -= e_listen_; });
+    transmitting_.for_each([&](std::size_t v) { battery_[v] -= b_transmit_; });
+    listen_.for_each([&](std::size_t v) { battery_[v] -= b_listen_; });
     scratch_.copy_from(dead_);
     scratch_.flip_all();           // scratch_ = alive
     scratch_.subtract(awake_now_); // scratch_ = alive sleepers
-    scratch_.for_each([&](std::size_t v) { battery_[v] -= e_sleep_; });
-    const double wakeup = config_.energy.wakeup_mj;
-    woke_.for_each([&](std::size_t v) { battery_[v] -= wakeup; });
+    scratch_.for_each([&](std::size_t v) { battery_[v] -= b_sleep_; });
+    woke_.for_each([&](std::size_t v) { battery_[v] -= b_wakeup_; });
     scratch_.copy_from(dead_);
     scratch_.flip_all();  // scratch_ = alive (kill_node mutates dead_, not this copy)
     scratch_.for_each([&](std::size_t v) {
-      if (battery_[v] <= 0.0) kill_node(v);
+      if (battery_[v] <= 0) kill_node(v);
     });
   }  // else: early-out — unlimited energy means no drain and no deaths.
   prev_awake_.copy_from(awake_now_);

@@ -20,13 +20,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "net/graph.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "sim/fastforward.hpp"
 #include "sim/fault.hpp"
 #include "sim/mac.hpp"
 #include "sim/packet.hpp"
@@ -162,6 +165,19 @@ struct SimConfig {
   /// concurrent readers). set_graph() reverts to the internal table, since
   /// the shared one no longer describes the topology.
   const net::RoutingTable* shared_routing = nullptr;
+  /// Frame-level fast-forwarding (sim/fastforward.hpp): memoize per-frame
+  /// deltas and replay them in O(state) across provably identical frames,
+  /// turning static-topology lifetime runs from O(slots) into O(events).
+  /// Produces BIT-IDENTICAL SimStats to a normal run — the golden tests
+  /// assert exactly that — because the engine only ever replays frames it
+  /// has verified exactly and falls back to slot-accurate stepping at every
+  /// invalidation source (arrival, fault event, battery death crossing,
+  /// topology change, armed flight recorder). The knob is a no-op (engine
+  /// stays disarmed) unless the MAC reports a fast_forward_period() and the
+  /// traffic source supports_lookahead(); it is also disarmed under
+  /// force_scalar_pipeline, tracing, or channel imperfections (per-slot rng
+  /// draws make frames unrepeatable).
+  bool fast_forward = false;
 };
 
 class Simulator {
@@ -227,12 +243,36 @@ class Simulator {
   [[nodiscard]] bool is_alive(std::size_t node) const { return !dead_.test(node); }
   [[nodiscard]] std::size_t alive_count() const { return dead_.size() - dead_.count(); }
   [[nodiscard]] double remaining_battery_mj(std::size_t node) const {
-    return battery_[node];
+    return static_cast<double>(battery_[node]) / static_cast<double>(kBatteryUnitsPerMj);
+  }
+
+  /// Fast-forward accounting (all-zero when the engine is disarmed).
+  /// Deliberately separate from stats(): SimStats must be bit-identical
+  /// with fast-forwarding on or off.
+  [[nodiscard]] FastForwardStats fast_forward_stats() const {
+    return ff_ ? ff_->stats : FastForwardStats{};
   }
 
  private:
   void inject(std::size_t origin, std::size_t destination);
   void step();
+
+  // --- frame-level fast-forwarding (sim/fastforward.cpp) ---
+  /// Attempts to cover the frame starting at now_ (period slots) from the
+  /// memo. Returns true when the frame was handled — replayed, or stepped-
+  /// and-recorded on a memo miss — and false when an invalidation source
+  /// vetoed it (caller steps one slot and retries at the next boundary).
+  bool try_fast_forward(std::uint64_t period, std::uint64_t run_end);
+  /// Hash of everything that determines the upcoming frame's outcome.
+  [[nodiscard]] std::uint64_t frame_fingerprint(std::uint64_t period) const;
+  /// Exact pre-state comparison (hash collisions must never replay).
+  [[nodiscard]] bool verify_entry(const FastForwardState::Entry& entry) const;
+  /// Steps `period` slots while snapshotting enough state to diff; inserts
+  /// the resulting delta into the memo unless the frame was tainted.
+  void record_frame(std::uint64_t key, std::uint64_t period);
+  /// Applies a verified entry's delta k times in O(state).
+  void replay_frame(const FastForwardState::Entry& entry, std::uint64_t period,
+                    std::uint64_t k);
 
   // --- pipeline phases (DESIGN.md §8) ---
   void collect_transmissions_scalar();                 // phase 1, legacy
@@ -393,7 +433,13 @@ class Simulator {
   util::SlotSet awake_now_;     // phase-3 scratch
   util::SlotSet woke_;          // phase-3 scratch
   util::SlotSet scratch_;       // general per-slot scratch
-  std::vector<double> battery_;       // remaining mJ per node (battery_mj > 0 only)
+  // Battery bookkeeping is INTEGER: nano-millijoule units, converted once
+  // from the double-valued config at construction. Integer drains make
+  // "k frames of idle cost exactly k * per-frame cost" an identity rather
+  // than a floating-point accident, which is what lets the fast-forward
+  // engine lump whole stretches of frames into one subtraction and still
+  // match the slot-by-slot run bit for bit.
+  std::vector<std::int64_t> battery_;  // remaining units per node (battery_mj > 0 only)
   util::SlotSet dead_;          // depleted nodes
   std::vector<std::uint64_t> death_slot_;  // slot of death, kNeverDied while alive
 
@@ -421,10 +467,22 @@ class Simulator {
     bool bad = false;
   };
   std::unordered_map<std::uint64_t, GeLink> ge_links_;  // key = x * n + y
-  // Per-slot energy constants (== config_.energy.energy_mj(state, 1)).
-  double e_transmit_ = 0.0, e_listen_ = 0.0, e_sleep_ = 0.0;
+  // Per-slot energy constants in battery units (see battery_ above);
+  // b_receive_ only feeds the scalar pipeline's per-state table.
+  std::int64_t b_transmit_ = 0, b_receive_ = 0, b_listen_ = 0, b_sleep_ = 0;
+  std::int64_t b_wakeup_ = 0;
+
+  // Fast-forward engine state; null whenever the arming conditions in the
+  // constructor do not hold, in which case run() is byte-for-byte the
+  // plain stepping loop.
+  std::unique_ptr<FastForwardState> ff_;
 
   static constexpr std::uint64_t kNeverDied = ~std::uint64_t{0};
+  /// Battery integer scale: 1e9 units per millijoule. The smallest per-slot
+  /// cost (sleep, 3e-5 mJ) is 30 000 units, so every radio-state cost is
+  /// exactly representable; the largest budget that fits comfortably is
+  /// ~9e9 mJ, far beyond any config in the tree.
+  static constexpr std::int64_t kBatteryUnitsPerMj = 1'000'000'000;
 };
 
 }  // namespace ttdc::sim

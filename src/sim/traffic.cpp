@@ -1,4 +1,53 @@
 #include "sim/traffic.hpp"
 
-// Traffic sources are header-only; routing moved to net/routing.cpp. This
-// translation unit is kept so the build file list stays stable.
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace ttdc::sim {
+
+LookaheadConvergecastTraffic::LookaheadConvergecastTraffic(std::size_t num_nodes,
+                                                           std::size_t sink, double rate,
+                                                           std::uint64_t seed)
+    : n_(num_nodes), sink_(sink),
+      rng_(util::mix64(seed ^ 0x7261666669636b5dull)) {
+  TTDC_ASSERT(sink_ < n_, "LookaheadConvergecastTraffic: sink ", sink_, " outside [0, ", n_,
+              ")");
+  TTDC_ASSERT(rate >= 0.0 && rate < 1.0,
+              "LookaheadConvergecastTraffic: per-node rate must be in [0, 1), got ", rate);
+  const double sources = static_cast<double>(n_ > 0 ? n_ - 1 : 0);
+  p_any_ = n_ <= 1 || rate <= 0.0 ? 0.0 : 1.0 - std::pow(1.0 - rate, sources);
+  if (p_any_ > 0.0) {
+    // First arrival: a gap sampled from slot -1, so slot 0 is reachable.
+    next_slot_ = sample_gap() - 1;
+    pending_origin_ = sample_origin();
+  }
+}
+
+std::uint64_t LookaheadConvergecastTraffic::sample_gap() {
+  // Geometric(p_any_) on {1, 2, ...} by inversion: exact for any p in (0, 1].
+  if (p_any_ >= 1.0) return 1;
+  const double u = rng_.uniform01();  // in [0, 1)
+  const double gap = std::floor(std::log1p(-u) / std::log1p(-p_any_));
+  // log1p(-u) <= 0 and log1p(-p) < 0, so gap >= 0; clamp defensively against
+  // FP underflow before widening to the slot domain.
+  return 1 + static_cast<std::uint64_t>(gap < 0.0 ? 0.0 : gap);
+}
+
+std::size_t LookaheadConvergecastTraffic::sample_origin() {
+  std::size_t origin = static_cast<std::size_t>(rng_.below(n_ - 1));
+  if (origin >= sink_) ++origin;  // exclude the sink as an origin
+  return origin;
+}
+
+void LookaheadConvergecastTraffic::advance() {
+  if (p_any_ <= 0.0) {
+    next_slot_ = kNoEmission;
+    return;
+  }
+  next_slot_ += sample_gap();
+  pending_origin_ = sample_origin();
+}
+
+}  // namespace ttdc::sim

@@ -17,9 +17,35 @@ using EmitFn = std::function<void(std::size_t, std::size_t)>;
 
 class TrafficSource {
  public:
+  /// next_emission() return value meaning "no further emissions, ever".
+  static constexpr std::uint64_t kNoEmission = ~std::uint64_t{0};
+
   virtual ~TrafficSource() = default;
   /// Called at the start of every slot; may emit any number of packets.
   virtual void generate(std::uint64_t slot, util::Xoshiro256& rng, const EmitFn& emit) = 0;
+
+  /// Slot-addressable lookahead — the traffic half of the frame-memoization
+  /// contract (sim/fastforward.hpp). A source returning true promises:
+  ///
+  ///   * generate() NEVER draws from the simulator rng it is handed (the
+  ///     source owns a private stream), and
+  ///   * next_emission(from) is the exact slot >= from of its next emit()
+  ///     call (kNoEmission if none), and that answer does not depend on
+  ///     whether generate() is actually invoked for the quiet slots in
+  ///     between — so the simulator may skip generate() entirely for any
+  ///     window it has proven silent.
+  ///
+  /// The default (false) marks the source opaque: the per-slot Bernoulli
+  /// sources below draw from the simulator stream every slot, so skipping
+  /// even a silent slot would desynchronize the run. Fast-forwarding stays
+  /// disarmed for opaque sources.
+  [[nodiscard]] virtual bool supports_lookahead() const { return false; }
+  /// Only meaningful when supports_lookahead(). Sources must be stepped in
+  /// slot order, so `from` never precedes a slot already generated.
+  [[nodiscard]] virtual std::uint64_t next_emission(std::uint64_t from) const {
+    (void)from;
+    return kNoEmission;
+  }
 };
 
 /// Saturated directed flows: each (src, dst) flow keeps the source
@@ -107,6 +133,48 @@ class BatchArrivalTraffic final : public TrafficSource {
   std::size_t n_;
   std::size_t sink_;
   std::size_t batch_;
+};
+
+/// Slot-addressable convergecast: the same aggregate load as
+/// ConvergecastTraffic (every non-sink node sends to the sink at `rate`
+/// packets per slot), reformulated as an event stream so the fast-forward
+/// engine can query it. Arrival slots are sampled by geometric gaps on the
+/// AGGREGATE process (P(any arrival in a slot) = 1 - (1-rate)^(n-1)), each
+/// arrival carrying one packet from a uniformly random non-sink origin — at
+/// most one packet per slot, from the source's own SplitMix-seeded stream,
+/// never the simulator's. The realization is therefore a pure function of
+/// (seed, arrival index): identical whether the simulator steps every slot
+/// or skips the proven-silent stretches between arrivals, which is exactly
+/// the supports_lookahead() contract.
+class LookaheadConvergecastTraffic final : public TrafficSource {
+ public:
+  LookaheadConvergecastTraffic(std::size_t num_nodes, std::size_t sink, double rate,
+                               std::uint64_t seed);
+
+  void generate(std::uint64_t slot, util::Xoshiro256&, const EmitFn& emit) override {
+    while (next_slot_ == slot) {
+      emit(pending_origin_, sink_);
+      advance();
+    }
+  }
+
+  [[nodiscard]] bool supports_lookahead() const override { return true; }
+  [[nodiscard]] std::uint64_t next_emission(std::uint64_t from) const override {
+    (void)from;  // stepped in slot order, so next_slot_ >= from always
+    return next_slot_;
+  }
+
+ private:
+  void advance();
+  std::uint64_t sample_gap();
+  std::size_t sample_origin();
+
+  std::size_t n_;
+  std::size_t sink_;
+  double p_any_;  // P(at least one arrival in a slot)
+  util::Xoshiro256 rng_;
+  std::uint64_t next_slot_ = kNoEmission;
+  std::size_t pending_origin_ = 0;
 };
 
 /// Next-hop routing (shortest hop paths) now lives in net/routing.hpp as a
